@@ -1,0 +1,116 @@
+package mpa
+
+// The benchmark harness: one benchmark per table and figure of the paper
+// (DESIGN.md §4), plus the ablation benches for the design decisions
+// DESIGN.md calls out, plus pipeline-stage benchmarks.
+//
+// Benchmarks run against a shared mid-scale synthetic OSP so `go test
+// -bench=.` finishes in minutes; `cmd/mpa-experiments -scale full`
+// regenerates every result at the paper's full 850-network scale (the
+// recorded output lives in EXPERIMENTS.md).
+
+import (
+	"sync"
+	"testing"
+
+	"mpa/internal/experiments"
+	"mpa/internal/months"
+	"mpa/internal/osp"
+	"mpa/internal/practices"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+// benchEnvironment lazily builds the shared benchmark OSP: 120 networks
+// over 8 months.
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		p := osp.Small(77)
+		p.Networks = 120
+		p.Start = months.StudyStart
+		p.End = months.StudyStart.Add(7)
+		env, err := experiments.NewEnv(p)
+		if err != nil {
+			panic(err)
+		}
+		benchEnv = env
+	})
+	return benchEnv
+}
+
+// benchExperiment runs one registered experiment b.N times.
+func benchExperiment(b *testing.B, id string) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := experiments.Run(env, id)
+		if !ok || r.Text == "" {
+			b.Fatalf("experiment %s failed", id)
+		}
+	}
+}
+
+// Pipeline-stage benchmarks.
+
+// BenchmarkGenerate measures synthetic-OSP generation (inventory, config
+// rendering, snapshot archiving, ticket emission).
+func BenchmarkGenerate(b *testing.B) {
+	p := osp.Small(1)
+	p.Networks = 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		osp.Generate(p)
+	}
+}
+
+// BenchmarkInference measures the practice-metric inference engine
+// (parsing every snapshot, diffing, grouping, metric computation).
+func BenchmarkInference(b *testing.B) {
+	o := osp.Generate(func() osp.Params {
+		p := osp.Small(2)
+		p.Networks = 20
+		return p
+	}())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := practices.NewEngine(o.Inventory, o.Archive)
+		if _, err := engine.Analyze(o.Params.Months()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table and figure benchmarks, in paper order.
+
+func BenchmarkFigure2(b *testing.B)   { benchExperiment(b, "figure2") }
+func BenchmarkFigure3(b *testing.B)   { benchExperiment(b, "figure3") }
+func BenchmarkFigure4(b *testing.B)   { benchExperiment(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)   { benchExperiment(b, "figure5") }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkFigure6(b *testing.B)   { benchExperiment(b, "figure6") }
+func BenchmarkTable3(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)    { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)    { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)    { benchExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B)    { benchExperiment(b, "table8") }
+func BenchmarkSection61(b *testing.B) { benchExperiment(b, "section61") }
+func BenchmarkFigure8(b *testing.B)   { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)   { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B)  { benchExperiment(b, "figure10") }
+func BenchmarkTable9(b *testing.B)    { benchExperiment(b, "table9") }
+func BenchmarkFigure11(b *testing.B)  { benchExperiment(b, "figure11") }
+func BenchmarkFigure12(b *testing.B)  { benchExperiment(b, "figure12") }
+func BenchmarkFigure13(b *testing.B)  { benchExperiment(b, "figure13") }
+
+// Ablation benchmarks (DESIGN.md §7).
+
+func BenchmarkAblationBinning(b *testing.B)  { benchExperiment(b, "ablation-binning") }
+func BenchmarkAblationMatching(b *testing.B) { benchExperiment(b, "ablation-matching") }
+func BenchmarkAblationLearners(b *testing.B) { benchExperiment(b, "ablation-learners") }
+func BenchmarkAblationGrouping(b *testing.B) { benchExperiment(b, "ablation-grouping") }

@@ -1,0 +1,74 @@
+// Command mpa-experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison).
+//
+// Usage:
+//
+//	mpa-experiments [-seed N] [-scale small|medium|full] [-only id,id,...]
+//
+// Scale selects the synthetic OSP size: small (60 networks, 6 months),
+// medium (240 networks, 10 months), or full (the paper's 850 networks
+// over 17 months; takes a few minutes and several GB of memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpa"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generator seed")
+	scale := flag.String("scale", "medium", "small | medium | full")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	var cfg mpa.Config
+	switch *scale {
+	case "small":
+		cfg = mpa.SmallConfig(*seed)
+	case "medium":
+		cfg = mpa.SmallConfig(*seed)
+		cfg.Networks = 240
+		start, _ := mpa.StudyWindow()
+		cfg.Start = start
+		cfg.End = start.Add(9)
+	case "full":
+		cfg = mpa.DefaultConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := mpa.ExperimentIDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+
+	fmt.Fprintf(os.Stderr, "generating OSP: %d networks, %s..%s (seed %d, scale %s)\n",
+		cfg.Networks, cfg.Start, cfg.End, cfg.Seed, *scale)
+	t0 := time.Now()
+	f, err := mpa.NewSynthetic(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpa-experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generation + inference took %v; %s\n\n", time.Since(t0).Round(time.Second), f.Dataset())
+
+	for _, id := range ids {
+		t1 := time.Now()
+		r, ok := f.Experiment(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			continue
+		}
+		fmt.Println(r.Title)
+		fmt.Println(strings.Repeat("=", len(r.Title)))
+		fmt.Println(r.Text)
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", r.ID, time.Since(t1).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,189 @@
+// Command mpa runs the management plane analytics pipeline on a synthetic
+// organization: generate data, rank practices, run causal analyses, and
+// train health models.
+//
+// Usage:
+//
+//	mpa [flags] <subcommand>
+//
+// Subcommands:
+//
+//	summary       dataset sizes (paper Table 2)
+//	rank          practices by statistical dependence with health (Table 3)
+//	causal        matched-design causal analysis of one practice (-practice)
+//	predict       train and evaluate health models (§6.1)
+//	online        month-ahead prediction accuracy (Table 9) (-history)
+//	characterize  design/operational practice characterization (Appendix A)
+//	experiment    run one paper experiment by id (-id), or list ids
+//	export        write the organization's raw data to -dir (JSON/CSV/tree)
+//	report        per-network report card (-network)
+//
+// Flags:
+//
+//	-seed N        generator seed (default 1)
+//	-networks N    number of networks (default 120; paper scale is 850)
+//	-months N      study months (default 10, anchored at Aug 2013)
+//	-practice M    practice metric for `causal` (default no_change_events)
+//	-id ID         experiment id for `experiment`
+//	-history N     training history in months for `online` (default 3)
+//	-dir PATH      output directory for `export`
+//	-network NAME  network for `report`
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpa"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generator seed")
+	networks := flag.Int("networks", 120, "number of networks to generate")
+	monthsN := flag.Int("months", 10, "study window length in months")
+	practice := flag.String("practice", "no_change_events", "practice metric for causal analysis")
+	id := flag.String("id", "", "experiment id for the experiment subcommand")
+	history := flag.Int("history", 3, "training history (months) for online prediction")
+	dir := flag.String("dir", "mpa-export", "output directory for export")
+	network := flag.String("network", "", "network name for report")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+
+	if cmd == "experiment" && *id == "" {
+		fmt.Println("available experiments:")
+		for _, eid := range mpa.ExperimentIDs() {
+			fmt.Println("  " + eid)
+		}
+		return
+	}
+
+	cfg := mpa.DefaultConfig(*seed)
+	cfg.Networks = *networks
+	start, _ := mpa.StudyWindow()
+	cfg.Start = start
+	cfg.End = start.Add(*monthsN - 1)
+
+	fmt.Fprintf(os.Stderr, "generating %d networks over %d months (seed %d)...\n",
+		cfg.Networks, *monthsN, cfg.Seed)
+	f, err := mpa.NewSynthetic(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "summary":
+		printExperiment(f, "table2")
+	case "rank":
+		fmt.Println("Practices by average monthly mutual information with health:")
+		for i, e := range f.RankPractices() {
+			fmt.Printf("%2d. %-34s (%s)  MI=%.3f\n",
+				i+1, mpa.DisplayName(e.Metric), mpa.MetricCategory(e.Metric), e.MI)
+		}
+	case "causal":
+		res, err := f.AnalyzeCausal(*practice)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Causal analysis of %s:\n", mpa.DisplayName(*practice))
+		for _, p := range res.Points {
+			status := "not significant"
+			switch {
+			case p.Skipped:
+				status = "insufficient cases"
+			case !p.Balanced:
+				status = "imbalanced matching"
+			case p.Causal:
+				status = "CAUSAL (p < 0.001)"
+			}
+			fmt.Printf("  %s: %d pairs, +%d/-%d/=%d, p=%.3g — %s\n",
+				p.Comparison, p.Pairs, p.MoreTickets, p.FewerTickets, p.NoEffect, p.PValue, status)
+		}
+	case "predict":
+		for _, g := range []mpa.Granularity{mpa.TwoClass, mpa.FiveClass} {
+			model, err := f.TrainHealthModel(g)
+			if err != nil {
+				fatal(err)
+			}
+			q := model.Quality()
+			fmt.Printf("%d-class model: accuracy %.3f (majority baseline %.3f)\n",
+				int(g), q.Accuracy, q.MajorityAccuracy)
+			for c, name := range g.ClassNames() {
+				fmt.Printf("  %-10s precision %.2f recall %.2f\n", name, q.Precision[c], q.Recall[c])
+			}
+		}
+	case "online":
+		for _, g := range []mpa.Granularity{mpa.TwoClass, mpa.FiveClass} {
+			preds, err := f.PredictOnline(g, *history)
+			if err != nil {
+				fatal(err)
+			}
+			var sum float64
+			for _, p := range preds {
+				sum += p.Accuracy
+			}
+			if len(preds) == 0 {
+				fmt.Printf("%d-class: window too short for history %d\n", int(g), *history)
+				continue
+			}
+			fmt.Printf("%d-class online accuracy (M=%d): %.3f over %d months\n",
+				int(g), *history, sum/float64(len(preds)), len(preds))
+		}
+	case "characterize":
+		for _, eid := range []string{"figure11", "figure12", "figure13"} {
+			printExperiment(f, eid)
+		}
+	case "export":
+		if err := f.Save(*dir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote inventory.json, tickets.csv, and snapshots/ under %s\n", *dir)
+	case "report":
+		name := *network
+		if name == "" {
+			name = f.Dataset().Networks()[0]
+		}
+		out, err := f.NetworkReport(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	case "experiment":
+		r, ok := f.Experiment(*id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q; run `mpa experiment` for the list", *id))
+		}
+		fmt.Println(r.Title)
+		fmt.Println(strings.Repeat("=", len(r.Title)))
+		fmt.Println(r.Text)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func printExperiment(f *mpa.Framework, id string) {
+	r, ok := f.Experiment(id)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", id))
+	}
+	fmt.Println(r.Title)
+	fmt.Println(strings.Repeat("=", len(r.Title)))
+	fmt.Println(r.Text)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mpa [flags] summary|rank|causal|predict|online|characterize|experiment|export|report")
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpa:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Causal analysis walkthrough: the paper's §5.2 pipeline applied to the
+// "number of change events" practice, with full diagnostics — matching
+// statistics, balance verification, and sign-test outcomes — mirroring
+// Tables 5 and 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mpa"
+)
+
+func main() {
+	cfg := mpa.SmallConfig(7)
+	cfg.Networks = 240
+	start, _ := mpa.StudyWindow()
+	cfg.Start = start
+	cfg.End = start.Add(9)
+	f, err := mpa.NewSynthetic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const treatment = "no_change_events"
+	fmt.Printf("Matched-design quasi-experiment: does %q causally impact health?\n",
+		mpa.DisplayName(treatment))
+	fmt.Printf("Controlling for the other %d practice metrics via propensity scores.\n\n",
+		len(mpa.MetricNames)-1)
+
+	res, err := f.AnalyzeCausal(treatment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Points {
+		fmt.Printf("Comparison point %s (treatment bin vs next bin):\n", p.Comparison)
+		if p.Skipped {
+			fmt.Println("  skipped: too few cases in a group")
+			continue
+		}
+		fmt.Printf("  groups: %d untreated vs %d treated cases\n", p.UntreatedCases, p.TreatedCases)
+		fmt.Printf("  matching: %d pairs (k=1 nearest propensity, with replacement);\n", p.Pairs)
+		fmt.Printf("            %d distinct untreated cases used\n", p.UntreatedUsed)
+		fmt.Printf("  propensity balance: |std diff| %.4f (<0.25), var ratio %.3f (0.5..2)\n",
+			math.Abs(p.PropensityBalance.StdMeanDiff), p.PropensityBalance.VarRatio)
+		fmt.Printf("  confounders out of balance: %d of %d",
+			len(p.Imbalanced), len(p.ConfounderBalance))
+		if len(p.Imbalanced) > 0 {
+			fmt.Printf(" (%v)", p.Imbalanced)
+		}
+		fmt.Println()
+		fmt.Printf("  outcomes: %d pairs with more tickets under treatment, %d fewer, %d ties\n",
+			p.MoreTickets, p.FewerTickets, p.NoEffect)
+		fmt.Printf("  sign test p-value: %.4g\n", p.PValue)
+		switch {
+		case !p.Balanced:
+			fmt.Println("  verdict: matching imbalanced — no causal conclusion (paper Table 8's 'Imbal.')")
+		case p.Causal:
+			fmt.Println("  verdict: causal relationship (p < 0.001)")
+		default:
+			fmt.Println("  verdict: not statistically significant at alpha = 0.001")
+		}
+		fmt.Println()
+	}
+
+	// The contrast the paper highlights: intra-device complexity has high
+	// statistical dependence but no direct causal effect — it rides on
+	// confounders like VLAN count.
+	fmt.Println("Contrast: intra_device_complexity (high MI, confounded):")
+	res2, err := f.AnalyzeCausal("intra_device_complexity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res2.Points {
+		verdict := "no causal conclusion"
+		if p.Causal {
+			verdict = "causal"
+		}
+		fmt.Printf("  %s: p=%.3g, balanced=%v — %s\n", p.Comparison, p.PValue, p.Balanced, verdict)
+	}
+}

@@ -1,0 +1,44 @@
+// Characterization walkthrough: the Appendix-A study of how management
+// practices vary across an organization's networks — design structure
+// (Figure 11), change behaviour (Figure 12), and change events (Figure
+// 13), plus the grouping-threshold sensitivity sweep (Figure 3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mpa"
+)
+
+func main() {
+	cfg := mpa.SmallConfig(5)
+	cfg.Networks = 200
+	start, _ := mpa.StudyWindow()
+	cfg.Start = start
+	cfg.End = start.Add(7)
+	f, err := mpa.NewSynthetic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []string{"table2", "figure3", "figure11", "figure12", "figure13"} {
+		r, ok := f.Experiment(id)
+		if !ok {
+			log.Fatalf("unknown experiment %s", id)
+		}
+		fmt.Println(r.Title)
+		fmt.Println(strings.Repeat("=", len(r.Title)))
+		fmt.Println(r.Text)
+	}
+
+	// The characterization's punchline (paper §3.2): practices vary
+	// enormously even inside one organization with shared guidelines.
+	rank := f.RankPractices()
+	fmt.Println("Diversity summary: MI spread across the 28 practices:")
+	fmt.Printf("  strongest dependence: %s (%.3f bits)\n",
+		mpa.DisplayName(rank[0].Metric), rank[0].MI)
+	fmt.Printf("  weakest dependence:   %s (%.3f bits)\n",
+		mpa.DisplayName(rank[len(rank)-1].Metric), rank[len(rank)-1].MI)
+}

@@ -1,0 +1,3 @@
+module mpa
+
+go 1.22

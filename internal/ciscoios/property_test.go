@@ -1,0 +1,63 @@
+package ciscoios
+
+import (
+	"testing"
+
+	"mpa/internal/confdiff"
+	"mpa/internal/conftest"
+	"mpa/internal/rng"
+)
+
+// TestRoundTripProperty renders and re-parses hundreds of random
+// well-formed configurations: the round trip must be lossless and the
+// re-rendered text identical (rendering is a canonical form).
+func TestRoundTripProperty(t *testing.T) {
+	var d Dialect
+	r := rng.New(2024)
+	for i := 0; i < 300; i++ {
+		orig := conftest.RandomConfig(r, conftest.StyleCisco)
+		text := d.Render(orig)
+		parsed, err := d.Parse(text)
+		if err != nil {
+			t.Fatalf("iteration %d: parse failed: %v\n%s", i, err, text)
+		}
+		if !orig.Equal(parsed) {
+			diff := confdiff.Diff(orig, parsed)
+			t.Fatalf("iteration %d: round trip lost data: %v\n%s", i, diff, text)
+		}
+		if again := d.Render(parsed); again != text {
+			t.Fatalf("iteration %d: render not canonical", i)
+		}
+	}
+}
+
+// TestDiffProperty checks that an arbitrary single-stanza mutation is
+// detected by the render/parse/diff pipeline with the correct type.
+func TestDiffProperty(t *testing.T) {
+	var d Dialect
+	r := rng.New(555)
+	for i := 0; i < 200; i++ {
+		before := conftest.RandomConfig(r, conftest.StyleCisco)
+		after := before.Clone()
+		stanzas := after.Stanzas()
+		s := stanzas[r.Intn(len(stanzas))]
+		s.Set("description", "mutated")
+		pb, err := d.Parse(d.Render(before))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := d.Parse(d.Render(after))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := confdiff.Diff(pb, pa)
+		// Descriptions only render for some stanza types; when they do,
+		// exactly one change of the mutated stanza's type must appear.
+		if len(diff) > 1 {
+			t.Fatalf("iteration %d: %d changes from one mutation: %v", i, len(diff), diff)
+		}
+		if len(diff) == 1 && diff[0].Type != s.Type {
+			t.Fatalf("iteration %d: change typed %v, want %v", i, diff[0].Type, s.Type)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package confdiff compares successive configuration snapshots of a device
+// and produces typed changes (paper §2.2, operational practices O1–O3):
+// if at least one stanza differs between two snapshots, a configuration
+// change occurred; each added, removed, or updated stanza contributes a
+// change of its vendor-agnostic stanza type.
+package confdiff
+
+import (
+	"sort"
+
+	"mpa/internal/confmodel"
+)
+
+// Kind classifies how a stanza changed between two snapshots.
+type Kind int
+
+// Change kinds.
+const (
+	KindAdd Kind = iota
+	KindRemove
+	KindUpdate
+)
+
+// String returns the change-kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindAdd:
+		return "add"
+	case KindRemove:
+		return "remove"
+	case KindUpdate:
+		return "update"
+	default:
+		return "unknown"
+	}
+}
+
+// StanzaChange is one changed stanza between two successive snapshots.
+type StanzaChange struct {
+	Type confmodel.Type // vendor-agnostic stanza type
+	Name string
+	Kind Kind
+}
+
+// Diff returns the stanza-level changes from old to new, sorted by stanza
+// key then kind for determinism. A nil result means the configurations are
+// identical (no configuration change occurred).
+func Diff(oldCfg, newCfg *confmodel.Config) []StanzaChange {
+	var changes []StanzaChange
+	oldByKey := map[string]*confmodel.Stanza{}
+	for _, s := range oldCfg.Stanzas() {
+		oldByKey[s.Key()] = s
+	}
+	seen := map[string]bool{}
+	for _, s := range newCfg.Stanzas() {
+		seen[s.Key()] = true
+		old, ok := oldByKey[s.Key()]
+		switch {
+		case !ok:
+			changes = append(changes, StanzaChange{s.Type, s.Name, KindAdd})
+		case !old.Equal(s):
+			changes = append(changes, StanzaChange{s.Type, s.Name, KindUpdate})
+		}
+	}
+	for _, s := range oldCfg.Stanzas() {
+		if !seen[s.Key()] {
+			changes = append(changes, StanzaChange{s.Type, s.Name, KindRemove})
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].Type != changes[j].Type {
+			return changes[i].Type < changes[j].Type
+		}
+		if changes[i].Name != changes[j].Name {
+			return changes[i].Name < changes[j].Name
+		}
+		return changes[i].Kind < changes[j].Kind
+	})
+	return changes
+}
+
+// Types returns the set of distinct vendor-agnostic stanza types touched
+// by the given changes.
+func Types(changes []StanzaChange) map[confmodel.Type]bool {
+	out := map[confmodel.Type]bool{}
+	for _, c := range changes {
+		out[c.Type] = true
+	}
+	return out
+}
+
+// Touches reports whether any change touches the given stanza type.
+func Touches(changes []StanzaChange, t confmodel.Type) bool {
+	for _, c := range changes {
+		if c.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// TouchesRouter reports whether any change touches a routing-protocol
+// stanza (the paper's "router change" category).
+func TouchesRouter(changes []StanzaChange) bool {
+	for _, c := range changes {
+		if c.Type.IsRouter() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,305 @@
+// Package confmodel defines the vendor-neutral device-configuration model
+// the reproduction's Batfish-style pipeline is built on (paper §2.2).
+//
+// Configuration information is arranged as stanzas, each containing a set
+// of options and values pertaining to a particular construct — a specific
+// interface, VLAN, routing instance, or ACL. A stanza is identified by a
+// type and a name. Vendor dialects (internal/ciscoios, internal/junos)
+// render a Config to concrete configuration text and parse text back;
+// stanza types that serve the same purpose on different vendors (e.g.
+// Cisco `ip access-list` vs Juniper `firewall filter`) map to one
+// vendor-agnostic Type here.
+package confmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a vendor-agnostic stanza type (paper §2.2: "we manually identify
+// stanza types on different vendors that serve the same purpose, and we
+// convert these to a vendor-agnostic type identifier").
+type Type int
+
+// Vendor-agnostic stanza types.
+const (
+	TypeInterface Type = iota
+	TypeVLAN
+	TypeACL
+	TypeBGP
+	TypeOSPF
+	TypePool // load-balancer server pool
+	TypeUser
+	TypeSNMP
+	TypeNTP
+	TypeLogging
+	TypeQoS
+	TypeSflow
+	TypeSTP
+	TypeUDLD
+	TypeDHCPRelay
+	TypePrefixList
+	TypeRouteMap
+	TypeOther
+	numTypes
+)
+
+// NumTypes is the number of distinct vendor-agnostic stanza types.
+const NumTypes = int(numTypes)
+
+// String returns the canonical lower-case type identifier.
+func (t Type) String() string {
+	switch t {
+	case TypeInterface:
+		return "interface"
+	case TypeVLAN:
+		return "vlan"
+	case TypeACL:
+		return "acl"
+	case TypeBGP:
+		return "bgp"
+	case TypeOSPF:
+		return "ospf"
+	case TypePool:
+		return "pool"
+	case TypeUser:
+		return "user"
+	case TypeSNMP:
+		return "snmp"
+	case TypeNTP:
+		return "ntp"
+	case TypeLogging:
+		return "logging"
+	case TypeQoS:
+		return "qos"
+	case TypeSflow:
+		return "sflow"
+	case TypeSTP:
+		return "stp"
+	case TypeUDLD:
+		return "udld"
+	case TypeDHCPRelay:
+		return "dhcp-relay"
+	case TypePrefixList:
+		return "prefix-list"
+	case TypeRouteMap:
+		return "route-map"
+	default:
+		return "other"
+	}
+}
+
+// TypeFromString is the inverse of Type.String. Unknown identifiers map to
+// TypeOther.
+func TypeFromString(s string) Type {
+	for t := Type(0); t < numTypes; t++ {
+		if t.String() == s {
+			return t
+		}
+	}
+	return TypeOther
+}
+
+// IsRouter reports whether the stanza type configures a routing protocol
+// (the paper's "router stanza" change category).
+func (t Type) IsRouter() bool { return t == TypeBGP || t == TypeOSPF }
+
+// Stanza is one configuration construct: a type, a name, and a set of
+// option key/value pairs. Option keys are semantic (dialect-independent);
+// dialects translate them to and from concrete syntax. Examples:
+//
+//	interface: "description", "address", "access-vlan", "acl-in",
+//	           "lag-group", "mtu"
+//	vlan:      "vlan-id", "description", "member:<ifname>" (Juniper places
+//	           interface membership under the vlan stanza; Cisco places it
+//	           under the interface — the paper's cross-vendor typing quirk)
+//	acl:       "rule:<seq>" -> "<action> <proto> <src> <dst>"
+//	bgp:       "local-as", "neighbor:<ip>" -> remote AS,
+//	           "network:<prefix>", "route-map:<name>" -> direction
+//	ospf:      "area", "network:<prefix>"
+//	pool:      "member:<ip:port>" -> weight, "monitor"
+type Stanza struct {
+	Type    Type
+	Name    string
+	Options map[string]string
+}
+
+// NewStanza returns an empty stanza of the given type and name.
+func NewStanza(t Type, name string) *Stanza {
+	return &Stanza{Type: t, Name: name, Options: map[string]string{}}
+}
+
+// Key returns the stanza identity used for diffing: type plus name.
+func (s *Stanza) Key() string { return s.Type.String() + " " + s.Name }
+
+// Set sets an option and returns the stanza for chaining.
+func (s *Stanza) Set(key, value string) *Stanza {
+	if s.Options == nil {
+		s.Options = map[string]string{}
+	}
+	s.Options[key] = value
+	return s
+}
+
+// Get returns the option value, or "".
+func (s *Stanza) Get(key string) string { return s.Options[key] }
+
+// Delete removes an option.
+func (s *Stanza) Delete(key string) { delete(s.Options, key) }
+
+// Clone returns a deep copy of the stanza.
+func (s *Stanza) Clone() *Stanza {
+	c := NewStanza(s.Type, s.Name)
+	for k, v := range s.Options {
+		c.Options[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two stanzas have identical identity and options.
+func (s *Stanza) Equal(o *Stanza) bool {
+	if s.Type != o.Type || s.Name != o.Name || len(s.Options) != len(o.Options) {
+		return false
+	}
+	for k, v := range s.Options {
+		if ov, ok := o.Options[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedOptionKeys returns the stanza's option keys in sorted order, for
+// deterministic rendering.
+func (s *Stanza) SortedOptionKeys() []string {
+	keys := make([]string, 0, len(s.Options))
+	for k := range s.Options {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OptionsWithPrefix returns the option keys sharing the given prefix (e.g.
+// "neighbor:"), sorted, with the prefix stripped, mapped to their values.
+func (s *Stanza) OptionsWithPrefix(prefix string) map[string]string {
+	out := map[string]string{}
+	for k, v := range s.Options {
+		if strings.HasPrefix(k, prefix) {
+			out[strings.TrimPrefix(k, prefix)] = v
+		}
+	}
+	return out
+}
+
+// Config is a device's configuration state: an unordered set of stanzas
+// keyed by identity, plus the device hostname.
+type Config struct {
+	Hostname string
+	stanzas  map[string]*Stanza
+}
+
+// NewConfig returns an empty configuration for the given hostname.
+func NewConfig(hostname string) *Config {
+	return &Config{Hostname: hostname, stanzas: map[string]*Stanza{}}
+}
+
+// Upsert inserts or replaces a stanza.
+func (c *Config) Upsert(s *Stanza) {
+	c.stanzas[s.Key()] = s
+}
+
+// Get returns the stanza with the given type and name, or nil.
+func (c *Config) Get(t Type, name string) *Stanza {
+	return c.stanzas[t.String()+" "+name]
+}
+
+// Remove deletes the stanza with the given type and name; it reports
+// whether a stanza was removed.
+func (c *Config) Remove(t Type, name string) bool {
+	key := t.String() + " " + name
+	if _, ok := c.stanzas[key]; !ok {
+		return false
+	}
+	delete(c.stanzas, key)
+	return true
+}
+
+// Len returns the number of stanzas.
+func (c *Config) Len() int { return len(c.stanzas) }
+
+// Stanzas returns all stanzas in deterministic (key-sorted) order.
+func (c *Config) Stanzas() []*Stanza {
+	keys := make([]string, 0, len(c.stanzas))
+	for k := range c.stanzas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Stanza, len(keys))
+	for i, k := range keys {
+		out[i] = c.stanzas[k]
+	}
+	return out
+}
+
+// OfType returns all stanzas of the given type in deterministic order.
+func (c *Config) OfType(t Type) []*Stanza {
+	var out []*Stanza
+	for _, s := range c.Stanzas() {
+		if s.Type == t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	out := NewConfig(c.Hostname)
+	for _, s := range c.stanzas {
+		out.Upsert(s.Clone())
+	}
+	return out
+}
+
+// Equal reports whether two configurations contain identical stanzas.
+func (c *Config) Equal(o *Config) bool {
+	if c.Hostname != o.Hostname || len(c.stanzas) != len(o.stanzas) {
+		return false
+	}
+	for k, s := range c.stanzas {
+		os, ok := o.stanzas[k]
+		if !ok || !s.Equal(os) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a cheap deterministic digest of the configuration,
+// used by the NMS to detect whether a snapshot differs from its
+// predecessor without storing full diffs.
+func (c *Config) Fingerprint() string {
+	var b strings.Builder
+	for _, s := range c.Stanzas() {
+		b.WriteString(s.Key())
+		b.WriteByte('{')
+		for _, k := range s.SortedOptionKeys() {
+			fmt.Fprintf(&b, "%s=%s;", k, s.Options[k])
+		}
+		b.WriteByte('}')
+	}
+	return fnv64(b.String())
+}
+
+// fnv64 returns the FNV-1a 64-bit hash of s as a hex string.
+func fnv64(s string) string {
+	const offset, prime = 14695981039346656037, 1099511628211
+	var h uint64 = offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return fmt.Sprintf("%016x", h)
+}

@@ -1,0 +1,67 @@
+package confmodel
+
+// NetworkInterRefs computes inter-device reference counts for every device
+// of a network at once. It is semantically identical to calling
+// InterDeviceRefs per device but runs in time linear in the total number
+// of stanzas (via inverted indexes) instead of quadratic in devices —
+// required for the OSP's largest networks (hundreds of devices, hundreds
+// of VLANs).
+func NetworkInterRefs(configs []*Config, mgmtIPOwner map[string]string) map[string]int {
+	refs := make(map[string]int, len(configs))
+
+	// Inverted indexes: how many devices carry each VLAN id / OSPF area.
+	vlanCount := map[string]int{}
+	areaCount := map[string]int{}
+	// Per-device distinct keys (a device may declare an area twice).
+	type devKeys struct {
+		vlans map[string]bool
+		areas map[string]bool
+	}
+	keys := make([]devKeys, len(configs))
+	for i, c := range configs {
+		dk := devKeys{vlans: map[string]bool{}, areas: map[string]bool{}}
+		for _, s := range c.OfType(TypeVLAN) {
+			id := s.Get("vlan-id")
+			if id == "" {
+				id = s.Name
+			}
+			dk.vlans[id] = true
+		}
+		for _, s := range c.OfType(TypeOSPF) {
+			if area := s.Get("area"); area != "" {
+				dk.areas[area] = true
+			}
+		}
+		keys[i] = dk
+		for v := range dk.vlans {
+			vlanCount[v]++
+		}
+		for a := range dk.areas {
+			areaCount[a]++
+		}
+	}
+
+	for i, c := range configs {
+		n := 0
+		// BGP neighbors resolving to peer devices.
+		for _, s := range c.OfType(TypeBGP) {
+			for ip := range s.OptionsWithPrefix("neighbor:") {
+				if owner, ok := mgmtIPOwner[ip]; ok && owner != c.Hostname {
+					n++
+				}
+			}
+		}
+		// Each VLAN stanza of this device counts one reference per VLAN
+		// stanza on a remote device with the same id. InterDeviceRefs
+		// counts per-remote-device, which equals (carriers - 1) when ids
+		// are unique per device.
+		for v := range keys[i].vlans {
+			n += vlanCount[v] - 1
+		}
+		for a := range keys[i].areas {
+			n += areaCount[a] - 1
+		}
+		refs[c.Hostname] = n
+	}
+	return refs
+}

@@ -1,0 +1,155 @@
+package confmodel
+
+import "strings"
+
+// Reference counting follows Benson et al.'s configuration-complexity
+// metrics (paper §2.2, D6): intra-device references are options in one
+// stanza that name another stanza on the same device; inter-device
+// references are options on one device that resolve to constructs on
+// another device in the same network (BGP neighbor statements pointing at
+// peers, VLANs spanning devices, OSPF areas shared across devices).
+
+// IntraDeviceRefs counts configuration references within a single device:
+// an option in stanza A naming stanza B counts as one reference when B
+// exists in the same configuration.
+func IntraDeviceRefs(c *Config) int {
+	refs := 0
+	for _, s := range c.Stanzas() {
+		switch s.Type {
+		case TypeInterface:
+			if acl := s.Get("acl-in"); acl != "" && c.Get(TypeACL, acl) != nil {
+				refs++
+			}
+			if acl := s.Get("acl-out"); acl != "" && c.Get(TypeACL, acl) != nil {
+				refs++
+			}
+			if vlan := s.Get("access-vlan"); vlan != "" && c.Get(TypeVLAN, vlan) != nil {
+				refs++
+			}
+			if qos := s.Get("service-policy"); qos != "" && c.Get(TypeQoS, qos) != nil {
+				refs++
+			}
+		case TypeVLAN:
+			// Juniper-style membership: vlan stanza references interfaces.
+			for ifname := range s.OptionsWithPrefix("member:") {
+				if c.Get(TypeInterface, ifname) != nil {
+					refs++
+				}
+			}
+		case TypeBGP:
+			for name := range s.OptionsWithPrefix("route-map:") {
+				if c.Get(TypeRouteMap, name) != nil {
+					refs++
+				}
+			}
+			for name := range s.OptionsWithPrefix("prefix-list:") {
+				if c.Get(TypePrefixList, name) != nil {
+					refs++
+				}
+			}
+		case TypeRouteMap:
+			for _, v := range s.OptionsWithPrefix("entry:") {
+				// Entries may match prefix lists: "permit match:<pl>".
+				if idx := strings.Index(v, "match:"); idx >= 0 {
+					pl := strings.Fields(v[idx+len("match:"):])
+					if len(pl) > 0 && c.Get(TypePrefixList, pl[0]) != nil {
+						refs++
+					}
+				}
+			}
+		case TypeDHCPRelay:
+			// Relay agents are bound to VLANs: "vlan" option.
+			if vlan := s.Get("vlan"); vlan != "" && c.Get(TypeVLAN, vlan) != nil {
+				refs++
+			}
+		}
+	}
+	return refs
+}
+
+// InterDeviceRefs counts references from one device's configuration to
+// constructs on other devices of the same network. mgmtIPOwner maps a
+// management IP to the owning hostname. Counted references:
+//
+//   - a BGP neighbor statement whose IP is another device's management IP;
+//   - a VLAN configured on this device that is also configured on another
+//     device (one reference per remote device sharing the VLAN);
+//   - an OSPF process sharing an area with a process on another device
+//     (one reference per remote device in the same area).
+func InterDeviceRefs(c *Config, peers []*Config, mgmtIPOwner map[string]string) int {
+	refs := 0
+	// BGP neighbors pointing at peer devices.
+	for _, s := range c.OfType(TypeBGP) {
+		for ip := range s.OptionsWithPrefix("neighbor:") {
+			if owner, ok := mgmtIPOwner[ip]; ok && owner != c.Hostname {
+				refs++
+			}
+		}
+	}
+	// VLANs shared with peers.
+	for _, s := range c.OfType(TypeVLAN) {
+		id := s.Get("vlan-id")
+		if id == "" {
+			id = s.Name
+		}
+		for _, p := range peers {
+			if p.Hostname == c.Hostname {
+				continue
+			}
+			if hasVLANID(p, id) {
+				refs++
+			}
+		}
+	}
+	// OSPF areas shared with peers.
+	for _, s := range c.OfType(TypeOSPF) {
+		area := s.Get("area")
+		if area == "" {
+			continue
+		}
+		for _, p := range peers {
+			if p.Hostname == c.Hostname {
+				continue
+			}
+			if hasOSPFArea(p, area) {
+				refs++
+			}
+		}
+	}
+	return refs
+}
+
+// hasVLANID reports whether the configuration has a VLAN stanza with the
+// given VLAN id (matching either the stanza name or the vlan-id option).
+func hasVLANID(c *Config, id string) bool {
+	for _, s := range c.OfType(TypeVLAN) {
+		if s.Name == id || s.Get("vlan-id") == id {
+			return true
+		}
+	}
+	return false
+}
+
+// hasOSPFArea reports whether the configuration has an OSPF process in the
+// given area.
+func hasOSPFArea(c *Config, area string) bool {
+	for _, s := range c.OfType(TypeOSPF) {
+		if s.Get("area") == area {
+			return true
+		}
+	}
+	return false
+}
+
+// Dialect renders configurations to vendor text and parses them back. The
+// two implementations live in internal/ciscoios and internal/junos.
+type Dialect interface {
+	// Name returns the dialect name ("cisco-ios", "junos").
+	Name() string
+	// Render serializes a configuration to vendor configuration text.
+	// Rendering is deterministic: equal configs render identically.
+	Render(c *Config) string
+	// Parse recovers a configuration from vendor text produced by Render.
+	// Vendor-specific stanza types are mapped to vendor-agnostic Types.
+	Parse(text string) (*Config, error)
+}

@@ -1,0 +1,137 @@
+package events
+
+import (
+	"testing"
+	"time"
+
+	"mpa/internal/nms"
+)
+
+func ch(dev string, minuteOffset int, automated bool) nms.ChangeRecord {
+	base := time.Date(2014, time.March, 1, 10, 0, 0, 0, time.UTC)
+	return nms.ChangeRecord{
+		Device:    dev,
+		Time:      base.Add(time.Duration(minuteOffset) * time.Minute),
+		Automated: automated,
+	}
+}
+
+func TestGroupEmpty(t *testing.T) {
+	if got := Group(nil, DefaultDelta); got != nil {
+		t.Errorf("Group(nil) = %v", got)
+	}
+}
+
+func TestGroupChaining(t *testing.T) {
+	// Gaps: 3, 4, 30 minutes. With delta=5 the first three chain together.
+	changes := []nms.ChangeRecord{ch("a", 0, false), ch("b", 3, false), ch("c", 7, false), ch("d", 37, false)}
+	evts := Group(changes, 5*time.Minute)
+	if len(evts) != 2 {
+		t.Fatalf("events = %d, want 2", len(evts))
+	}
+	if len(evts[0].Changes) != 3 || len(evts[1].Changes) != 1 {
+		t.Errorf("event sizes = %d, %d", len(evts[0].Changes), len(evts[1].Changes))
+	}
+}
+
+func TestGroupTransitivity(t *testing.T) {
+	// Consecutive 4-minute gaps spanning 20 minutes total still form one
+	// event: the heuristic is transitive.
+	var changes []nms.ChangeRecord
+	for i := 0; i < 6; i++ {
+		changes = append(changes, ch("d", i*4, false))
+	}
+	evts := Group(changes, 5*time.Minute)
+	if len(evts) != 1 {
+		t.Errorf("events = %d, want 1 (transitive chaining)", len(evts))
+	}
+}
+
+func TestGroupNADisablesGrouping(t *testing.T) {
+	changes := []nms.ChangeRecord{ch("a", 0, false), ch("b", 1, false), ch("c", 2, false)}
+	evts := Group(changes, 0)
+	if len(evts) != 3 {
+		t.Errorf("NA grouping events = %d, want 3", len(evts))
+	}
+}
+
+func TestGroupUnsortedInput(t *testing.T) {
+	changes := []nms.ChangeRecord{ch("c", 40, false), ch("a", 0, false), ch("b", 2, false)}
+	evts := Group(changes, 5*time.Minute)
+	if len(evts) != 2 {
+		t.Fatalf("events = %d, want 2", len(evts))
+	}
+	if evts[0].Changes[0].Device != "a" {
+		t.Errorf("first event starts with %s, want a", evts[0].Changes[0].Device)
+	}
+}
+
+func TestGroupDoesNotMutateInput(t *testing.T) {
+	changes := []nms.ChangeRecord{ch("b", 10, false), ch("a", 0, false)}
+	Group(changes, time.Minute)
+	if changes[0].Device != "b" {
+		t.Error("Group sorted the caller's slice")
+	}
+}
+
+func TestLargerDeltaNeverMoreEvents(t *testing.T) {
+	// Figure 3's monotone behaviour: growing delta can only merge events.
+	changes := []nms.ChangeRecord{
+		ch("a", 0, false), ch("b", 2, false), ch("c", 9, false),
+		ch("d", 11, false), ch("e", 30, false), ch("f", 55, false),
+	}
+	prev := len(changes) + 1
+	for _, delta := range []time.Duration{0, 1, 2, 5, 10, 15, 30} {
+		d := delta * time.Minute
+		n := len(Group(changes, d))
+		if n > prev {
+			t.Errorf("delta %v produced more events (%d) than smaller delta (%d)", d, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestEventDevices(t *testing.T) {
+	e := Event{Changes: []nms.ChangeRecord{ch("b", 0, false), ch("a", 1, false), ch("b", 2, false)}}
+	devs := e.Devices()
+	if len(devs) != 2 || devs[0] != "a" || devs[1] != "b" {
+		t.Errorf("Devices = %v", devs)
+	}
+	if e.DeviceCount() != 2 {
+		t.Errorf("DeviceCount = %d", e.DeviceCount())
+	}
+}
+
+func TestEventAutomated(t *testing.T) {
+	all := Event{Changes: []nms.ChangeRecord{ch("a", 0, true), ch("b", 1, true)}}
+	if !all.Automated() {
+		t.Error("fully automated event not detected")
+	}
+	mixed := Event{Changes: []nms.ChangeRecord{ch("a", 0, true), ch("b", 1, false)}}
+	if mixed.Automated() {
+		t.Error("mixed event classified automated")
+	}
+	empty := Event{}
+	if empty.Automated() {
+		t.Error("empty event classified automated")
+	}
+}
+
+func TestEventStart(t *testing.T) {
+	e := Event{Changes: []nms.ChangeRecord{ch("a", 5, false), ch("b", 9, false)}}
+	if got := e.Start(); !got.Equal(ch("a", 5, false).Time) {
+		t.Errorf("Start = %v", got)
+	}
+	var zero Event
+	if !zero.Start().IsZero() {
+		t.Error("empty event Start should be zero")
+	}
+}
+
+func TestSameTimestampDifferentDevicesOneEvent(t *testing.T) {
+	changes := []nms.ChangeRecord{ch("a", 0, false), ch("b", 0, false)}
+	evts := Group(changes, time.Minute)
+	if len(evts) != 1 || evts[0].DeviceCount() != 2 {
+		t.Errorf("simultaneous changes: %d events", len(evts))
+	}
+}

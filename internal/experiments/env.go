@@ -1,0 +1,125 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md §4). Each
+// experiment consumes a shared Env — a generated OSP plus the inference
+// output and case matrix — and returns a Report holding rendered text and
+// the key numbers, so tests and benchmarks can assert on result shape.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mpa/internal/dataset"
+	"mpa/internal/months"
+	"mpa/internal/osp"
+	"mpa/internal/practices"
+)
+
+// Env is the shared input of all experiments.
+type Env struct {
+	Params   osp.Params
+	OSP      *osp.OSP
+	Analysis map[string][]practices.MonthAnalysis
+	Data     *dataset.Dataset
+}
+
+// NewEnv generates an OSP, runs practice inference over the full study
+// window, and assembles the case matrix.
+func NewEnv(p osp.Params) (*Env, error) {
+	o := osp.Generate(p)
+	engine := practices.NewEngine(o.Inventory, o.Archive)
+	analysis, err := engine.Analyze(p.Months())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: inference failed: %w", err)
+	}
+	return &Env{
+		Params:   p,
+		OSP:      o,
+		Analysis: analysis,
+		Data:     dataset.Build(analysis, o.Tickets),
+	}, nil
+}
+
+// Window returns the study months.
+func (e *Env) Window() []months.Month { return e.Params.Months() }
+
+// Report is one experiment's output.
+type Report struct {
+	// ID is the experiment identifier, e.g. "table3" or "figure8".
+	ID string
+	// Title restates what the paper's table/figure shows.
+	Title string
+	// Text is the rendered result.
+	Text string
+	// Numbers carries the key quantities for programmatic assertions.
+	Numbers map[string]float64
+}
+
+// Runner executes one experiment against an Env.
+type Runner func(*Env) Report
+
+// Registry lists every experiment in paper order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"figure2", Figure2},
+		{"figure3", Figure3},
+		{"figure4", Figure4},
+		{"figure5", Figure5},
+		{"table2", Table2},
+		{"figure6", Figure6},
+		{"table3", Table3},
+		{"table4", Table4},
+		{"table5", Table5},
+		{"table6", Table6},
+		{"table7", Table7},
+		{"table8", Table8},
+		{"section61", Section61},
+		{"figure8", Figure8},
+		{"figure9", Figure9},
+		{"figure10", Figure10},
+		{"table9", Table9},
+		{"figure11", Figure11},
+		{"figure12", Figure12},
+		{"figure13", Figure13},
+		{"ablation-binning", AblationBinning},
+		{"ablation-matching", AblationMatching},
+		{"ablation-learners", AblationLearners},
+		{"ablation-grouping", AblationGrouping},
+	}
+}
+
+// Run executes the experiment with the given ID, or returns false.
+func Run(env *Env, id string) (Report, bool) {
+	for _, entry := range Registry() {
+		if entry.ID == id {
+			return entry.Run(env), true
+		}
+	}
+	return Report{}, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, e := range reg {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// sortedNetworkNames returns the analysis networks in deterministic order.
+func (e *Env) sortedNetworkNames() []string {
+	names := make([]string, 0, len(e.Analysis))
+	for n := range e.Analysis {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mpa/internal/report"
+	"mpa/internal/survey"
+)
+
+// Figure2 renders the operator-survey results: for each practice, the
+// distribution of impact opinions across the 51 respondents.
+func Figure2(_ *Env) Report {
+	var b strings.Builder
+	numbers := map[string]float64{}
+	tb := report.NewTable("Practice", "None", "Low", "Medium", "High", "Unsure", "Majority")
+	for _, p := range survey.Results() {
+		tb.AddRow(p.Practice,
+			fmt.Sprint(p.Counts[survey.NoImpact]),
+			fmt.Sprint(p.Counts[survey.LowImpact]),
+			fmt.Sprint(p.Counts[survey.MediumImpact]),
+			fmt.Sprint(p.Counts[survey.HighImpact]),
+			fmt.Sprint(p.Counts[survey.NotSure]),
+			p.MajorityOpinion().String())
+		numbers["high:"+p.Practice] = float64(p.Counts[survey.HighImpact])
+		numbers["low:"+p.Practice] = float64(p.Counts[survey.LowImpact])
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nConsensus exists only for 'No. of change events' (high impact);\n")
+	b.WriteString("the remaining practices draw a diversity of opinions (paper §3.1).\n")
+	return Report{
+		ID:      "figure2",
+		Title:   "Figure 2: results of the 51-operator survey on practice impact",
+		Text:    b.String(),
+		Numbers: numbers,
+	}
+}

@@ -1,0 +1,65 @@
+package ml
+
+// Evaluation holds classification quality measures (paper §6.1: accuracy,
+// per-class precision and recall, via 5-fold cross-validation).
+type Evaluation struct {
+	Accuracy  float64
+	Precision []float64 // per class
+	Recall    []float64 // per class
+	Confusion [][]int   // [actual][predicted]
+	N         int
+}
+
+// Evaluate scores predictions against truth for the given class count.
+func Evaluate(pred, truth []int, classes int) Evaluation {
+	ev := Evaluation{
+		Precision: make([]float64, classes),
+		Recall:    make([]float64, classes),
+		Confusion: make([][]int, classes),
+		N:         len(truth),
+	}
+	for c := range ev.Confusion {
+		ev.Confusion[c] = make([]int, classes)
+	}
+	correct := 0
+	for i := range truth {
+		ev.Confusion[truth[i]][pred[i]]++
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	if len(truth) > 0 {
+		ev.Accuracy = float64(correct) / float64(len(truth))
+	}
+	for c := 0; c < classes; c++ {
+		var predicted, actual, tp int
+		for o := 0; o < classes; o++ {
+			predicted += ev.Confusion[o][c]
+			actual += ev.Confusion[c][o]
+		}
+		tp = ev.Confusion[c][c]
+		if predicted > 0 {
+			ev.Precision[c] = float64(tp) / float64(predicted)
+		}
+		if actual > 0 {
+			ev.Recall[c] = float64(tp) / float64(actual)
+		}
+	}
+	return ev
+}
+
+// Merge combines fold evaluations by pooling their confusion matrices.
+func Merge(evals []Evaluation, classes int) Evaluation {
+	var pred, truth []int
+	for _, ev := range evals {
+		for a := 0; a < classes; a++ {
+			for p := 0; p < classes; p++ {
+				for k := 0; k < ev.Confusion[a][p]; k++ {
+					truth = append(truth, a)
+					pred = append(pred, p)
+				}
+			}
+		}
+	}
+	return Evaluate(pred, truth, classes)
+}

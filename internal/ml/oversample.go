@@ -1,0 +1,61 @@
+package ml
+
+// Oversample replicates samples of the given classes, returning a new
+// dataset. factors maps class label -> total multiplicity (2 = each sample
+// of the class appears twice, etc.); classes absent from the map keep
+// multiplicity 1. This is the paper's skew remedy for minority health
+// classes (§6.1): in the 2-class model unhealthy samples are replicated
+// twice; in the 5-class model poor is replicated twice and moderate and
+// good three times.
+func Oversample(X [][]int, y []int, factors map[int]int) ([][]int, []int) {
+	outX := make([][]int, 0, len(y))
+	outY := make([]int, 0, len(y))
+	for i := range y {
+		mult := factors[y[i]]
+		if mult < 1 {
+			mult = 1
+		}
+		for k := 0; k < mult; k++ {
+			outX = append(outX, X[i])
+			outY = append(outY, y[i])
+		}
+	}
+	return outX, outY
+}
+
+// Oversample2Class is the paper's 2-class oversampling: unhealthy (label
+// 1) replicated twice.
+func Oversample2Class(X [][]int, y []int) ([][]int, []int) {
+	return Oversample(X, y, map[int]int{1: 2})
+}
+
+// Oversample5Class is the paper's 5-class oversampling: good (1) and
+// moderate (2) replicated thrice, poor (3) twice.
+func Oversample5Class(X [][]int, y []int) ([][]int, []int) {
+	return Oversample(X, y, map[int]int{1: 3, 2: 3, 3: 2})
+}
+
+// Majority is the baseline classifier that always predicts the most
+// frequent training class (the paper's majority-class predictor, 64.8%
+// accurate on the 2-class task).
+type Majority struct {
+	class int
+}
+
+// TrainMajority fits the majority baseline.
+func TrainMajority(y []int, classes int) *Majority {
+	counts := make([]int, classes)
+	for _, c := range y {
+		counts[c]++
+	}
+	best := 0
+	for c := 1; c < classes; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	return &Majority{class: best}
+}
+
+// Predict returns the majority class regardless of input.
+func (m *Majority) Predict(_ []int) int { return m.class }

@@ -1,0 +1,312 @@
+// Package ml implements the predictive-modeling stack of MPA (paper §6):
+// C4.5-style decision trees over binned practice metrics, AdaBoost,
+// minority-class oversampling, and the baselines the paper compares
+// against (majority-class, linear SVM, balanced and weighted random
+// forests), plus stratified cross-validation and the standard
+// classification metrics.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Classifier predicts a class label from a binned feature vector.
+type Classifier interface {
+	Predict(x []int) int
+}
+
+// TreeConfig controls decision-tree training.
+type TreeConfig struct {
+	// MinLeafFrac is the paper's pruning threshold alpha: any branch
+	// reached by less than this fraction of the training weight is
+	// replaced by a majority leaf. The paper sets alpha to 1% of all
+	// data.
+	MinLeafFrac float64
+	// MaxDepth bounds tree depth (0 = unlimited).
+	MaxDepth int
+}
+
+// DefaultTreeConfig returns the paper's settings (alpha = 1%).
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MinLeafFrac: 0.01}
+}
+
+// treeNode is an internal or leaf node.
+type treeNode struct {
+	// Leaf fields.
+	leaf  bool
+	class int
+	// Internal fields.
+	feature  int
+	children map[int]*treeNode
+	fallback int // majority class at this node, for unseen bins
+}
+
+// Tree is a trained C4.5-style decision tree over categorical (binned)
+// features. Splits are multiway on feature value; the split criterion is
+// gain ratio (information gain normalized by split information), Quinlan's
+// refinement over plain information gain.
+type Tree struct {
+	root    *treeNode
+	classes int
+}
+
+// TrainTree builds a decision tree from binned features X, labels y, and
+// optional per-sample weights w (nil = uniform). classes is the number of
+// distinct labels. Training is deterministic.
+func TrainTree(X [][]int, y []int, w []float64, classes int, cfg TreeConfig) *Tree {
+	if len(X) == 0 || len(X) != len(y) {
+		panic("ml: TrainTree with empty or mismatched data")
+	}
+	if w == nil {
+		w = make([]float64, len(y))
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	var total float64
+	for _, wi := range w {
+		total += wi
+	}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	used := make([]bool, len(X[0]))
+	t := &Tree{classes: classes}
+	minWeight := cfg.MinLeafFrac * total
+	t.root = build(X, y, w, idx, used, classes, minWeight, cfg.MaxDepth, 0)
+	return t
+}
+
+// build recursively constructs the tree over the samples in idx.
+func build(X [][]int, y []int, w []float64, idx []int, used []bool, classes int, minWeight float64, maxDepth, depth int) *treeNode {
+	majority, pure, weight := classStats(y, w, idx, classes)
+	if pure || weight < minWeight || (maxDepth > 0 && depth >= maxDepth) {
+		return &treeNode{leaf: true, class: majority}
+	}
+	feature, groups, ok := bestSplit(X, y, w, idx, used, classes)
+	if !ok {
+		return &treeNode{leaf: true, class: majority}
+	}
+	node := &treeNode{feature: feature, children: map[int]*treeNode{}, fallback: majority}
+	used[feature] = true
+	// Deterministic child order.
+	vals := make([]int, 0, len(groups))
+	for v := range groups {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	for _, v := range vals {
+		child := groups[v]
+		// The paper's alpha-pruning: branches reached by too little data
+		// become majority leaves.
+		if groupWeight(w, child) < minWeight {
+			m, _, _ := classStats(y, w, child, classes)
+			node.children[v] = &treeNode{leaf: true, class: m}
+			continue
+		}
+		node.children[v] = build(X, y, w, child, used, classes, minWeight, maxDepth, depth+1)
+	}
+	used[feature] = false
+	return node
+}
+
+// classStats returns the majority class, purity, and total weight of the
+// samples in idx.
+func classStats(y []int, w []float64, idx []int, classes int) (majority int, pure bool, weight float64) {
+	counts := make([]float64, classes)
+	for _, i := range idx {
+		counts[y[i]] += w[i]
+		weight += w[i]
+	}
+	best := 0.0
+	nonzero := 0
+	for c, cw := range counts {
+		if cw > 0 {
+			nonzero++
+		}
+		if cw > best {
+			best = cw
+			majority = c
+		}
+	}
+	return majority, nonzero <= 1, weight
+}
+
+func groupWeight(w []float64, idx []int) float64 {
+	var total float64
+	for _, i := range idx {
+		total += w[i]
+	}
+	return total
+}
+
+// weightedEntropy returns the class entropy of the samples in idx.
+func weightedEntropy(y []int, w []float64, idx []int, classes int) float64 {
+	counts := make([]float64, classes)
+	var total float64
+	for _, i := range idx {
+		counts[y[i]] += w[i]
+		total += w[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// bestSplit finds the unused feature with the highest gain ratio. It
+// returns false when no feature yields positive information gain.
+func bestSplit(X [][]int, y []int, w []float64, idx []int, used []bool, classes int) (int, map[int][]int, bool) {
+	baseH := weightedEntropy(y, w, idx, classes)
+	total := groupWeight(w, idx)
+	bestRatio := 0.0
+	bestFeature := -1
+	var bestGroups map[int][]int
+	for f := range used {
+		if used[f] {
+			continue
+		}
+		groups := map[int][]int{}
+		for _, i := range idx {
+			groups[X[i][f]] = append(groups[X[i][f]], i)
+		}
+		if len(groups) < 2 {
+			continue
+		}
+		var condH, splitInfo float64
+		for _, g := range groups {
+			gw := groupWeight(w, g)
+			p := gw / total
+			condH += p * weightedEntropy(y, w, g, classes)
+			splitInfo -= p * math.Log2(p)
+		}
+		gain := baseH - condH
+		if gain <= 1e-12 || splitInfo <= 1e-12 {
+			continue
+		}
+		ratio := gain / splitInfo
+		if ratio > bestRatio || (ratio == bestRatio && (bestFeature == -1 || f < bestFeature)) {
+			bestRatio = ratio
+			bestFeature = f
+			bestGroups = groups
+		}
+	}
+	if bestFeature < 0 {
+		return 0, nil, false
+	}
+	return bestFeature, bestGroups, true
+}
+
+// Predict returns the predicted class for a feature vector. Feature values
+// unseen at a node fall back to the node's majority class.
+func (t *Tree) Predict(x []int) int {
+	n := t.root
+	for !n.leaf {
+		child, ok := n.children[x[n.feature]]
+		if !ok {
+			return n.fallback
+		}
+		n = child
+	}
+	return n.class
+}
+
+// Classes returns the number of classes the tree was trained with.
+func (t *Tree) Classes() int { return t.classes }
+
+// Depth returns the tree's depth (a lone leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *treeNode) int {
+	if n.leaf {
+		return 0
+	}
+	max := 0
+	for _, c := range n.children {
+		if d := depth(c); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return count(t.root) }
+
+func count(n *treeNode) int {
+	if n.leaf {
+		return 1
+	}
+	total := 1
+	for _, c := range n.children {
+		total += count(c)
+	}
+	return total
+}
+
+// RootFeature returns the index of the root split feature, or -1 if the
+// tree is a single leaf. The paper notes the root is the practice with the
+// strongest statistical dependence (Figure 10 discussion).
+func (t *Tree) RootFeature() int {
+	if t.root.leaf {
+		return -1
+	}
+	return t.root.feature
+}
+
+// Render pretty-prints the tree's top levels (Figure 10 style).
+// featureNames and classNames label splits and leaves; maxDepth bounds the
+// rendering (0 = full tree).
+func (t *Tree) Render(featureNames, classNames []string, maxDepth int) string {
+	var b strings.Builder
+	render(&b, t.root, featureNames, classNames, "", maxDepth, 0)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *treeNode, feats, classes []string, indent string, maxDepth, d int) {
+	if n.leaf {
+		fmt.Fprintf(b, "%s-> %s\n", indent, className(classes, n.class))
+		return
+	}
+	if maxDepth > 0 && d >= maxDepth {
+		fmt.Fprintf(b, "%s[%s] ...\n", indent, featName(feats, n.feature))
+		return
+	}
+	fmt.Fprintf(b, "%s[%s]\n", indent, featName(feats, n.feature))
+	vals := make([]int, 0, len(n.children))
+	for v := range n.children {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	for _, v := range vals {
+		fmt.Fprintf(b, "%s  = bin %d:\n", indent, v)
+		render(b, n.children[v], feats, classes, indent+"    ", maxDepth, d+1)
+	}
+}
+
+func featName(names []string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("f%d", i)
+}
+
+func className(names []string, c int) string {
+	if c < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("class%d", c)
+}

@@ -1,0 +1,292 @@
+package ml
+
+import (
+	"strings"
+	"testing"
+
+	"mpa/internal/rng"
+)
+
+// xorData builds a dataset where y = x0 XOR x1 — unlearnable by a single
+// split, learnable by a depth-2 tree. The cell counts are slightly
+// asymmetric: with perfectly balanced XOR both features have exactly zero
+// information gain at the root and a greedy C4.5 tree (like the original)
+// cannot start splitting.
+func xorData() ([][]int, []int) {
+	reps := map[[2]int]int{{0, 0}: 30, {0, 1}: 25, {1, 0}: 25, {1, 1}: 20}
+	var X [][]int
+	var y []int
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for rep := 0; rep < reps[[2]int{a, b}]; rep++ {
+				X = append(X, []int{a, b, rep % 3})
+				y = append(y, a^b)
+			}
+		}
+	}
+	return X, y
+}
+
+func TestTreeLearnsSingleFeature(t *testing.T) {
+	var X [][]int
+	var y []int
+	for v := 0; v < 5; v++ {
+		for rep := 0; rep < 10; rep++ {
+			X = append(X, []int{v, rep % 2})
+			label := 0
+			if v >= 3 {
+				label = 1
+			}
+			y = append(y, label)
+		}
+	}
+	tree := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0.01})
+	for i := range X {
+		if got := tree.Predict(X[i]); got != y[i] {
+			t.Fatalf("Predict(%v) = %d, want %d", X[i], got, y[i])
+		}
+	}
+	if tree.RootFeature() != 0 {
+		t.Errorf("root feature = %d, want 0", tree.RootFeature())
+	}
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	X, y := xorData()
+	tree := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0.01})
+	for i := range X {
+		if tree.Predict(X[i]) != y[i] {
+			t.Fatal("tree failed to learn XOR (needs two-level splits)")
+		}
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("XOR tree depth = %d, want >= 2", tree.Depth())
+	}
+}
+
+func TestTreePruningCollapsesRareBranches(t *testing.T) {
+	// 99 samples with x0=0 label 0; 1 sample x0=1 label 1. With alpha=5%
+	// the rare branch is below threshold and the x0=1 branch becomes a
+	// majority leaf — but the majority within that branch is label 1.
+	// Use a second feature whose rare value would overfit.
+	var X [][]int
+	var y []int
+	for i := 0; i < 99; i++ {
+		X = append(X, []int{0, i % 5})
+		y = append(y, 0)
+	}
+	X = append(X, []int{1, 0})
+	y = append(y, 1)
+	pruned := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0.05})
+	// The branch for x0=1 holds 1% of data < 5% threshold: replaced by a
+	// leaf whose label is that branch's majority (1). So prediction holds,
+	// but the tree must be tiny.
+	if pruned.NodeCount() > 4 {
+		t.Errorf("pruned tree has %d nodes", pruned.NodeCount())
+	}
+	unpruned := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0})
+	if unpruned.NodeCount() < pruned.NodeCount() {
+		t.Error("pruning increased node count")
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	X, y := xorData()
+	tree := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0, MaxDepth: 1})
+	if tree.Depth() > 1 {
+		t.Errorf("depth = %d with MaxDepth 1", tree.Depth())
+	}
+}
+
+func TestTreeWeightsInfluenceSplits(t *testing.T) {
+	// Two features both partially predictive; weighting flips which
+	// matters. y mostly follows x0, but samples where x1 matters get
+	// huge weights.
+	X := [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 1, 0, 1} // y == x1 exactly
+	w := []float64{1, 1, 1, 1}
+	tree := TrainTree(X, y, w, 2, TreeConfig{})
+	if tree.RootFeature() != 1 {
+		t.Fatalf("root = %d, want 1", tree.RootFeature())
+	}
+	// Give overwhelming weight to two samples that make x0 look perfect
+	// (x0=0 -> 0, x0=1 -> 1), drowning the others.
+	y2 := []int{0, 0, 1, 1} // y == x0 exactly now
+	tree2 := TrainTree(X, y2, w, 2, TreeConfig{})
+	if tree2.RootFeature() != 0 {
+		t.Fatalf("root = %d, want 0", tree2.RootFeature())
+	}
+}
+
+func TestTreeFallbackOnUnseenBin(t *testing.T) {
+	X := [][]int{{0}, {0}, {1}, {1}, {1}}
+	y := []int{0, 0, 1, 1, 1}
+	tree := TrainTree(X, y, nil, 2, TreeConfig{})
+	// Bin 4 never seen: falls back to node majority (1: three samples).
+	if got := tree.Predict([]int{4}); got != 1 {
+		t.Errorf("unseen bin predicted %d, want majority 1", got)
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	X := [][]int{{0, 1}, {1, 0}, {2, 1}}
+	y := []int{1, 1, 1}
+	tree := TrainTree(X, y, nil, 2, TreeConfig{})
+	if !tree.root.leaf || tree.Predict([]int{9, 9}) != 1 {
+		t.Error("pure dataset should produce a single leaf")
+	}
+}
+
+func TestTreeRender(t *testing.T) {
+	X, y := xorData()
+	tree := TrainTree(X, y, nil, 2, TreeConfig{})
+	out := tree.Render([]string{"featA", "featB", "noise"}, []string{"neg", "pos"}, 0)
+	if !strings.Contains(out, "featA") && !strings.Contains(out, "featB") {
+		t.Errorf("render missing feature names:\n%s", out)
+	}
+	if !strings.Contains(out, "pos") || !strings.Contains(out, "neg") {
+		t.Errorf("render missing class names:\n%s", out)
+	}
+	truncated := tree.Render(nil, nil, 1)
+	if len(truncated) >= len(out) {
+		t.Error("depth-limited render not shorter")
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	X, y := xorData()
+	a := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0.01})
+	b := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0.01})
+	if a.Render(nil, nil, 0) != b.Render(nil, nil, 0) {
+		t.Error("tree training not deterministic")
+	}
+}
+
+func TestTreePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty data")
+		}
+	}()
+	TrainTree(nil, nil, nil, 2, TreeConfig{})
+}
+
+func TestAdaBoostImprovesMinorityRecall(t *testing.T) {
+	// Skewed data: 90% class 0 trivially predictable, 10% class 1
+	// requiring a second feature. Boosting should recover class-1 recall
+	// relative to a heavily pruned single tree.
+	r := rng.New(5)
+	var X [][]int
+	var y []int
+	for i := 0; i < 500; i++ {
+		x0 := r.Intn(2)
+		x1 := r.Intn(5)
+		label := 0
+		if x0 == 1 && x1 >= 3 {
+			label = 1
+		}
+		X = append(X, []int{x0, x1})
+		y = append(y, label)
+	}
+	single := TrainTree(X, y, nil, 2, TreeConfig{MinLeafFrac: 0.25})
+	boosted := TrainAdaBoost(X, y, 2, BoostConfig{
+		Rounds: 15, Tree: TreeConfig{MinLeafFrac: 0.25}, Mode: BoostLastTree})
+	recall := func(c Classifier) float64 {
+		tp, actual := 0, 0
+		for i := range X {
+			if y[i] != 1 {
+				continue
+			}
+			actual++
+			if c.Predict(X[i]) == 1 {
+				tp++
+			}
+		}
+		return float64(tp) / float64(actual)
+	}
+	if recall(boosted) < recall(single) {
+		t.Errorf("boosted recall %.3f < single-tree recall %.3f", recall(boosted), recall(single))
+	}
+}
+
+func TestAdaBoostEnsembleMode(t *testing.T) {
+	X, y := xorData()
+	clf := TrainAdaBoost(X, y, 2, BoostConfig{Rounds: 5, Tree: DefaultTreeConfig(), Mode: BoostEnsemble})
+	ens, ok := clf.(*Ensemble)
+	if !ok {
+		t.Fatalf("ensemble mode returned %T", clf)
+	}
+	if ens.Rounds() < 1 {
+		t.Fatal("no rounds retained")
+	}
+	correct := 0
+	for i := range X {
+		if ens.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	if correct < len(y)*9/10 {
+		t.Errorf("ensemble accuracy %d/%d", correct, len(y))
+	}
+}
+
+func TestAdaBoostPerfectLearnerStops(t *testing.T) {
+	// XOR is perfectly learnable: boosting should stop early after a
+	// zero-error round rather than run all rounds.
+	X, y := xorData()
+	clf := TrainAdaBoost(X, y, 2, BoostConfig{Rounds: 15, Tree: DefaultTreeConfig(), Mode: BoostEnsemble})
+	if ens := clf.(*Ensemble); ens.Rounds() > 2 {
+		t.Errorf("boosting ran %d rounds on separable data", ens.Rounds())
+	}
+}
+
+func TestOversample(t *testing.T) {
+	X := [][]int{{0}, {1}, {2}}
+	y := []int{0, 1, 2}
+	ox, oy := Oversample(X, y, map[int]int{1: 3, 2: 2})
+	if len(oy) != 1+3+2 {
+		t.Fatalf("oversampled to %d", len(oy))
+	}
+	counts := map[int]int{}
+	for _, c := range oy {
+		counts[c]++
+	}
+	if counts[0] != 1 || counts[1] != 3 || counts[2] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	if len(ox) != len(oy) {
+		t.Error("X/y length mismatch")
+	}
+}
+
+func TestOversamplePaperRatios(t *testing.T) {
+	y := []int{0, 1, 0, 1}
+	X := [][]int{{0}, {0}, {0}, {0}}
+	_, oy := Oversample2Class(X, y)
+	ones := 0
+	for _, c := range oy {
+		if c == 1 {
+			ones++
+		}
+	}
+	if ones != 4 { // 2 unhealthy x2
+		t.Errorf("2-class oversample ones = %d, want 4", ones)
+	}
+	y5 := []int{0, 1, 2, 3, 4}
+	X5 := [][]int{{0}, {0}, {0}, {0}, {0}}
+	_, oy5 := Oversample5Class(X5, y5)
+	counts := map[int]int{}
+	for _, c := range oy5 {
+		counts[c]++
+	}
+	if counts[0] != 1 || counts[1] != 3 || counts[2] != 3 || counts[3] != 2 || counts[4] != 1 {
+		t.Errorf("5-class counts = %v", counts)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	m := TrainMajority([]int{0, 1, 1, 1, 2}, 3)
+	if m.Predict([]int{42}) != 1 {
+		t.Errorf("majority = %d", m.Predict(nil))
+	}
+}

@@ -1,0 +1,151 @@
+// Package nms models the network-management-system substrate MPA reads
+// configuration history from (paper §2.1, data source 2). Systems like
+// RANCID and HPNA subscribe to device syslog feeds and snapshot a device's
+// configuration whenever the device reports that its configuration
+// changed; each snapshot carries the configuration text plus metadata —
+// when the change occurred and the login of the entity (user or script)
+// that made it.
+//
+// The archive also implements the paper's change-modality inference: a
+// change is classified as automated if its login is a special account in
+// the organization's user-management system; otherwise it is assumed
+// manual. This conservative rule misclassifies scripts running under
+// regular user accounts, under-estimating automation — the synthetic OSP
+// generator reproduces that bias deliberately.
+package nms
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mpa/internal/months"
+)
+
+// Snapshot is one archived device configuration.
+type Snapshot struct {
+	Device      string
+	Time        time.Time
+	Login       string // entity that made the triggering change
+	Text        string // full rendered configuration text
+	Fingerprint string // cheap digest for change detection
+}
+
+// ChangeRecord is a configuration change: a pair of successive snapshots
+// of one device whose configurations differ.
+type ChangeRecord struct {
+	Device    string
+	Time      time.Time // time of the new snapshot
+	Login     string
+	Automated bool
+	Before    *Snapshot
+	After     *Snapshot
+}
+
+// Archive stores time-ordered configuration snapshots per device.
+type Archive struct {
+	byDevice map[string][]*Snapshot
+	special  map[string]bool // logins classified as automation accounts
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{byDevice: map[string][]*Snapshot{}, special: map[string]bool{}}
+}
+
+// MarkSpecialAccount registers a login as an automation (special) account.
+func (a *Archive) MarkSpecialAccount(login string) { a.special[login] = true }
+
+// IsAutomated reports whether changes by the given login are classified as
+// automated.
+func (a *Archive) IsAutomated(login string) bool { return a.special[login] }
+
+// Record appends a snapshot to the device's history. Snapshots must be
+// recorded in non-decreasing time order per device.
+func (a *Archive) Record(s *Snapshot) error {
+	hist := a.byDevice[s.Device]
+	if n := len(hist); n > 0 && s.Time.Before(hist[n-1].Time) {
+		return fmt.Errorf("nms: out-of-order snapshot for %s: %v before %v",
+			s.Device, s.Time, hist[n-1].Time)
+	}
+	a.byDevice[s.Device] = append(hist, s)
+	return nil
+}
+
+// Snapshots returns the device's snapshot history in time order.
+func (a *Archive) Snapshots(device string) []*Snapshot { return a.byDevice[device] }
+
+// Devices returns all devices with at least one snapshot, sorted.
+func (a *Archive) Devices() []string {
+	out := make([]string, 0, len(a.byDevice))
+	for d := range a.byDevice {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SnapshotCount returns the total number of archived snapshots.
+func (a *Archive) SnapshotCount() int {
+	total := 0
+	for _, hist := range a.byDevice {
+		total += len(hist)
+	}
+	return total
+}
+
+// TotalBytes returns the total size of archived configuration text.
+func (a *Archive) TotalBytes() int64 {
+	var total int64
+	for _, hist := range a.byDevice {
+		for _, s := range hist {
+			total += int64(len(s.Text))
+		}
+	}
+	return total
+}
+
+// Changes returns the device's configuration changes: successive snapshot
+// pairs with differing fingerprints, in time order.
+func (a *Archive) Changes(device string) []ChangeRecord {
+	hist := a.byDevice[device]
+	var out []ChangeRecord
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Fingerprint == hist[i-1].Fingerprint {
+			continue
+		}
+		out = append(out, ChangeRecord{
+			Device:    device,
+			Time:      hist[i].Time,
+			Login:     hist[i].Login,
+			Automated: a.IsAutomated(hist[i].Login),
+			Before:    hist[i-1],
+			After:     hist[i],
+		})
+	}
+	return out
+}
+
+// ChangesInMonth returns the device's changes whose time falls in month m.
+func (a *Archive) ChangesInMonth(device string, m months.Month) []ChangeRecord {
+	var out []ChangeRecord
+	for _, c := range a.Changes(device) {
+		if months.Of(c.Time) == m {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ConfigAt returns the latest snapshot of the device at or before t, or
+// nil if no snapshot exists by then. MPA uses this to evaluate design
+// metrics from month-end configuration states.
+func (a *Archive) ConfigAt(device string, t time.Time) *Snapshot {
+	hist := a.byDevice[device]
+	// Binary search for the last snapshot with Time <= t.
+	idx := sort.Search(len(hist), func(i int) bool { return hist[i].Time.After(t) })
+	if idx == 0 {
+		return nil
+	}
+	return hist[idx-1]
+}

@@ -1,0 +1,131 @@
+// Command calib is a development tool: it generates a mid-scale OSP and
+// prints the calibration targets — health-class skew (Figure 9), the MI
+// ranking (Table 3), and 1:2 causal outcomes (Table 7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"mpa/internal/dataset"
+	"mpa/internal/months"
+	"mpa/internal/osp"
+	"mpa/internal/practices"
+	"mpa/internal/qed"
+	"mpa/internal/stats"
+	"mpa/internal/ticketing"
+)
+
+func main() {
+	networks := flag.Int("networks", 400, "")
+	nMonths := flag.Int("months", 12, "")
+	seed := flag.Uint64("seed", 1, "")
+	causal := flag.Bool("causal", true, "run causal analysis")
+	flag.Parse()
+
+	p := osp.Default(*seed)
+	p.Networks = *networks
+	p.End = p.Start.Add(*nMonths - 1)
+	t0 := time.Now()
+	o := osp.Generate(p)
+	fmt.Printf("generate %v: %d devices, %d snapshots (%dMB), %d tickets\n",
+		time.Since(t0).Round(time.Second), o.Inventory.DeviceCount(),
+		o.Archive.SnapshotCount(), o.Archive.TotalBytes()>>20, o.Tickets.Len())
+
+	engine := practices.NewEngine(o.Inventory, o.Archive)
+	analysis, err := engine.Analyze(p.Months())
+	if err != nil {
+		panic(err)
+	}
+	d := dataset.Build(analysis, o.Tickets)
+	fmt.Println(d)
+
+	skew(d, o.Tickets, p.Months())
+	var hw []float64
+	for _, mas := range analysis {
+		hw = append(hw, mas[0].Metrics[practices.MetricHardwareEntropy])
+	}
+	fmt.Printf("hw entropy: median=%.2f fracAbove0.67=%.2f\n",
+		stats.Median(hw), 1-stats.CDFAt(hw, 0.67))
+	ranked := miRank(d, p.Months())
+	if !*causal {
+		return
+	}
+	fmt.Println("causal 1:2 for top 10:")
+	for i, m := range ranked {
+		if i >= 10 {
+			break
+		}
+		res, err := qed.Run(d, m, qed.DefaultConfig(practices.MetricNames))
+		if err != nil {
+			panic(err)
+		}
+		pt := res.Points[0]
+		fmt.Printf("  %-26s pairs=%-5d imbal=%-2d balanced=%-5v p=%.2e causal=%v\n",
+			m, pt.Pairs, len(pt.Imbalanced), pt.Balanced, pt.PValue, pt.Causal)
+	}
+}
+
+func skew(d *dataset.Dataset, log *ticketing.Log, _ []months.Month) {
+	counts := make([]int, 5)
+	healthy := 0
+	for _, c := range d.Cases {
+		counts[dataset.Class5(c.Tickets)]++
+		if dataset.Class2(c.Tickets) == 0 {
+			healthy++
+		}
+	}
+	n := float64(d.Len())
+	fmt.Printf("skew: healthy=%.1f%% excellent=%.1f%% good=%.1f%% mod=%.1f%% poor=%.1f%% vp=%.1f%%\n",
+		100*float64(healthy)/n, 100*float64(counts[0])/n, 100*float64(counts[1])/n,
+		100*float64(counts[2])/n, 100*float64(counts[3])/n, 100*float64(counts[4])/n)
+}
+
+func miRank(d *dataset.Dataset, window []months.Month) []string {
+	binned := d.Bin(10)
+	byMonth := map[months.Month][]int{}
+	for i, c := range d.Cases {
+		byMonth[c.Month] = append(byMonth[c.Month], i)
+	}
+	type entry struct {
+		m  string
+		mi float64
+	}
+	var entries []entry
+	for _, metric := range practices.MetricNames {
+		var sum float64
+		n := 0
+		for _, m := range window {
+			idx := byMonth[m]
+			if len(idx) < 2 {
+				continue
+			}
+			xs := make([]int, len(idx))
+			ys := make([]int, len(idx))
+			for k, i := range idx {
+				xs[k] = binned.Metrics[metric][i]
+				ys[k] = binned.Health[i]
+			}
+			sum += stats.MutualInformation(xs, ys)
+			n++
+		}
+		entries = append(entries, entry{metric, sum / float64(n)})
+	}
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			if entries[j].mi > entries[i].mi {
+				entries[i], entries[j] = entries[j], entries[i]
+			}
+		}
+	}
+	fmt.Println("MI ranking:")
+	out := make([]string, 0, len(entries))
+	for i, e := range entries {
+		if i < 14 {
+			fmt.Printf("  %2d. %-26s %.3f\n", i+1, e.m, e.mi)
+		}
+		out = append(out, e.m)
+	}
+	return out
+}

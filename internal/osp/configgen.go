@@ -1,0 +1,433 @@
+package osp
+
+import (
+	"fmt"
+
+	"mpa/internal/confmodel"
+	"mpa/internal/netmodel"
+	"mpa/internal/rng"
+)
+
+// netState is the generator's live view of one network: its inventory
+// records plus the current configuration state of every device.
+type netState struct {
+	profile *profile
+	network *netmodel.Network
+	devices []*netmodel.Device
+	configs map[string]*confmodel.Config // by hostname
+	vlanIDs []int                        // VLAN ids configured in the network
+	r       *rng.RNG
+	// counters for unique naming
+	nextVLANID int
+	nextACL    int
+	nextUser   int
+}
+
+// mgmtIP maps (network index, device index) to a unique address in
+// 10.0.0.0/8.
+func mgmtIP(netIdx, devIdx int) string {
+	v := netIdx*512 + devIdx
+	return fmt.Sprintf("10.%d.%d.%d", (v>>16)&255, (v>>8)&255, v&255)
+}
+
+// ifaceName returns a vendor-appropriate interface name.
+func ifaceName(v netmodel.Vendor, i int) string {
+	if v == netmodel.VendorCisco {
+		return fmt.Sprintf("TenGigabitEthernet0/%d", i)
+	}
+	return fmt.Sprintf("xe-0/0/%d", i)
+}
+
+// buildNetwork constructs a network's inventory and initial device
+// configurations from its profile.
+func buildNetwork(pr *profile, r *rng.RNG) *netState {
+	st := &netState{
+		profile:    pr,
+		configs:    map[string]*confmodel.Config{},
+		r:          r,
+		nextVLANID: 100,
+		nextACL:    1,
+		nextUser:   1,
+	}
+	roles := rolePlan(pr, r)
+
+	// Draw the network's VLAN id set.
+	for i := 0; i < pr.vlanCount; i++ {
+		st.vlanIDs = append(st.vlanIDs, st.nextVLANID)
+		st.nextVLANID++
+	}
+
+	// Fleet procurement: each role gets a dominant vendor, model, and
+	// firmware for the whole network (devices are bulk-purchased), with a
+	// small per-device deviation probability. This keeps the normalized
+	// (model, role) entropy low for most networks — the paper's median
+	// heterogeneity is below 0.3 — while deviations and mixed-vendor
+	// sourcing produce the heterogeneous ~10% tail.
+	type fleet struct {
+		vendor   netmodel.Vendor
+		model    string
+		firmware string
+	}
+	mixed := pr.vendorBias > 0 && pr.vendorBias < 1 && len(roles) >= 2
+	fleetFor := func(forceVendor *netmodel.Vendor) fleet {
+		v := netmodel.VendorJuniper
+		if r.Bool(pr.vendorBias) {
+			v = netmodel.VendorCisco
+		}
+		if forceVendor != nil {
+			v = *forceVendor
+		}
+		models := modelCatalog[v]
+		fw := firmwareCatalog[v]
+		return fleet{
+			vendor:   v,
+			model:    models[r.Zipf(len(models), pr.modelSpread)-1],
+			firmware: fw[r.Zipf(len(fw), 1.1)-1],
+		}
+	}
+	// Mixed-vendor networks are deliberately dual-sourced: the first two
+	// roles present get different vendors (Appendix A.1: 81% of networks
+	// are multi-vendor; tiny mixed networks still see both vendors via a
+	// forced deviation below).
+	fleets := map[netmodel.Role]fleet{}
+	forced := 0
+	for _, role := range roles {
+		if _, ok := fleets[role]; ok {
+			continue
+		}
+		var force *netmodel.Vendor
+		if mixed && forced < 2 {
+			v := netmodel.VendorCisco
+			if forced == 1 {
+				v = netmodel.VendorJuniper
+			}
+			force = &v
+			forced++
+		}
+		fleets[role] = fleetFor(force)
+	}
+
+	// Deviations pick uniformly from the catalog: one-off devices (trial
+	// units, salvaged spares) widen the distinct-model count — the paper
+	// sees up to 25 models per network — while each adds little entropy.
+	deviantFleet := func() fleet {
+		v := netmodel.VendorJuniper
+		if r.Bool(pr.vendorBias) {
+			v = netmodel.VendorCisco
+		}
+		models := modelCatalog[v]
+		fw := firmwareCatalog[v]
+		return fleet{
+			vendor:   v,
+			model:    models[r.Intn(len(models))],
+			firmware: fw[r.Intn(len(fw))],
+		}
+	}
+
+	const deviationProb = 0.12
+	roleCounters := map[netmodel.Role]int{}
+	secondVendorSeen := !mixed || forced >= 2
+	for i, role := range roles {
+		fl := fleets[role]
+		if r.Bool(deviationProb) {
+			fl = deviantFleet()
+		}
+		if !secondVendorSeen && i == len(roles)-1 {
+			// Single-role mixed network: force the second vendor once.
+			other := netmodel.VendorJuniper
+			if fleets[role].vendor == netmodel.VendorJuniper {
+				other = netmodel.VendorCisco
+			}
+			fl = fleetFor(&other)
+		}
+		if fl.vendor != fleets[role].vendor {
+			secondVendorSeen = true
+		}
+		vendor, model, firmware := fl.vendor, fl.model, fl.firmware
+		roleCounters[role]++
+		dev := &netmodel.Device{
+			Name:     fmt.Sprintf("%s-%s-%02d", pr.name, roleShort(role), roleCounters[role]),
+			Network:  pr.name,
+			Vendor:   vendor,
+			Model:    model,
+			Role:     role,
+			Firmware: firmware,
+			MgmtIP:   mgmtIP(pr.index, i),
+		}
+		st.devices = append(st.devices, dev)
+		st.configs[dev.Name] = st.buildDeviceConfig(dev)
+	}
+	st.wireBGP()
+	st.network = &netmodel.Network{
+		Name:         pr.name,
+		Services:     pr.services,
+		Interconnect: pr.interconnect,
+		Devices:      st.devices,
+	}
+	return st
+}
+
+func roleShort(role netmodel.Role) string {
+	switch role {
+	case netmodel.RoleSwitch:
+		return "sw"
+	case netmodel.RoleRouter:
+		return "rt"
+	case netmodel.RoleFirewall:
+		return "fw"
+	case netmodel.RoleLoadBalancer:
+		return "lb"
+	case netmodel.RoleADC:
+		return "adc"
+	default:
+		return "dev"
+	}
+}
+
+// buildDeviceConfig constructs a device's initial configuration.
+func (st *netState) buildDeviceConfig(dev *netmodel.Device) *confmodel.Config {
+	r := st.r
+	pr := st.profile
+	c := confmodel.NewConfig(dev.Name)
+
+	// Management-plane stanzas present on every device.
+	c.Upsert(confmodel.NewStanza(confmodel.TypeSNMP, "global").
+		Set("community", "osp-mon").Set("host:10.250.0.1", "true"))
+	c.Upsert(confmodel.NewStanza(confmodel.TypeNTP, "global").
+		Set("server:10.250.0.2", "true"))
+	c.Upsert(confmodel.NewStanza(confmodel.TypeLogging, "global").
+		Set("level", "informational").Set("host:10.250.0.3", "true"))
+	for i := 0; i < 1+r.Intn(3); i++ {
+		c.Upsert(confmodel.NewStanza(confmodel.TypeUser, fmt.Sprintf("acct%02d", st.nextUser)).
+			Set("role", "15").Set("hash", fmt.Sprintf("$1$h%04x", r.Uint64()&0xffff)))
+		st.nextUser++
+	}
+
+	// Interfaces: port count by role.
+	ports := 4 + r.Intn(8)
+	if dev.Role == netmodel.RoleSwitch {
+		ports = 8 + r.Intn(17)
+	}
+	var ifaces []string
+	for i := 0; i < ports; i++ {
+		name := ifaceName(dev.Vendor, i)
+		ifaces = append(ifaces, name)
+		s := confmodel.NewStanza(confmodel.TypeInterface, name)
+		s.Set("description", fmt.Sprintf("port %d", i))
+		if dev.Role == netmodel.RoleRouter && i < 4 {
+			s.Set("address", fmt.Sprintf("%s/31", mgmtIP(pr.index, 300+r.Intn(100))))
+		}
+		c.Upsert(s)
+	}
+
+	// VLANs: each device carries a subset of the network's VLANs;
+	// membership placement follows the vendor quirk.
+	carried := st.deviceVLANSubset()
+	for _, id := range carried {
+		st.attachVLAN(c, dev.Vendor, id, ifaces[r.Intn(len(ifaces))])
+	}
+
+	// Spanning tree / LAG / UDLD / DHCP relay per network usage.
+	if pr.useSTP && dev.Role == netmodel.RoleSwitch {
+		region := fmt.Sprintf("%s-mst%d", pr.name, 1+r.Intn(pr.mstpRegions))
+		c.Upsert(confmodel.NewStanza(confmodel.TypeSTP, "global").
+			Set("mode", "mst").Set("priority", fmt.Sprintf("%d", 4096*(1+r.Intn(4)))).
+			Set("region", region))
+	}
+	if pr.useLAG && len(ifaces) >= 4 && r.Bool(pr.lagProb) {
+		group := fmt.Sprintf("%d", 1+r.Intn(4))
+		for i := 0; i < 2; i++ {
+			c.Get(confmodel.TypeInterface, ifaces[i]).Set("lag-group", group)
+		}
+	}
+	if pr.useUDLD && dev.Vendor == netmodel.VendorCisco && dev.Role == netmodel.RoleSwitch {
+		c.Upsert(confmodel.NewStanza(confmodel.TypeUDLD, "global").Set("enable", "true"))
+	}
+	if pr.useDHCPR && dev.Role == netmodel.RoleSwitch && len(carried) > 0 && r.Bool(0.5) {
+		id := carried[0]
+		c.Upsert(confmodel.NewStanza(confmodel.TypeDHCPRelay, fmt.Sprintf("VLAN%d", id)).
+			Set("vlan", fmt.Sprintf("%d", id)).
+			Set("server:10.250.0.9", "true"))
+	}
+
+	// Role-specific constructs.
+	switch dev.Role {
+	case netmodel.RoleRouter:
+		st.addRouterConstructs(c, dev)
+	case netmodel.RoleFirewall:
+		for i := 0; i < 2+r.Intn(4); i++ {
+			st.addACL(c, ifaces[r.Intn(len(ifaces))])
+		}
+	case netmodel.RoleLoadBalancer, netmodel.RoleADC:
+		for i := 0; i < 1+r.Intn(3); i++ {
+			st.addPool(c)
+		}
+		st.addACL(c, ifaces[r.Intn(len(ifaces))])
+	case netmodel.RoleSwitch:
+		if r.Bool(0.3) {
+			st.addACL(c, ifaces[r.Intn(len(ifaces))])
+		}
+	}
+	if r.Bool(0.25) {
+		c.Upsert(confmodel.NewStanza(confmodel.TypeSflow, "global").
+			Set("collector", "10.250.0.4").Set("rate", "4096"))
+	}
+	if r.Bool(0.2) {
+		name := fmt.Sprintf("PM-%02d", r.Intn(4))
+		c.Upsert(confmodel.NewStanza(confmodel.TypeQoS, name).
+			Set("class:gold", fmt.Sprintf("%d", 10+10*r.Intn(5))))
+	}
+	return c
+}
+
+// deviceVLANSubset picks which of the network's VLANs a device carries.
+func (st *netState) deviceVLANSubset() []int {
+	r := st.r
+	if len(st.vlanIDs) == 0 {
+		return nil
+	}
+	// Carry a slice of the network's VLANs around the per-network base
+	// fraction, at least one.
+	frac := st.profile.vlanCarry + 0.25*(r.Float64()-0.5)
+	if frac < 0.1 {
+		frac = 0.1
+	}
+	if frac > 0.95 {
+		frac = 0.95
+	}
+	n := int(frac * float64(len(st.vlanIDs)))
+	if n < 1 {
+		n = 1
+	}
+	perm := r.Perm(len(st.vlanIDs))
+	out := make([]int, 0, n)
+	for _, idx := range perm[:n] {
+		out = append(out, st.vlanIDs[idx])
+	}
+	return out
+}
+
+// attachVLAN adds a VLAN stanza to a device and wires one interface into
+// it according to the vendor quirk: Cisco sets the membership on the
+// interface stanza; Juniper sets it on the vlan stanza.
+func (st *netState) attachVLAN(c *confmodel.Config, vendor netmodel.Vendor, id int, iface string) {
+	ids := fmt.Sprintf("%d", id)
+	if vendor == netmodel.VendorCisco {
+		c.Upsert(confmodel.NewStanza(confmodel.TypeVLAN, ids).
+			Set("vlan-id", ids).Set("description", "seg-"+ids))
+		if s := c.Get(confmodel.TypeInterface, iface); s != nil {
+			s.Set("access-vlan", ids)
+		}
+		return
+	}
+	v := confmodel.NewStanza(confmodel.TypeVLAN, "v"+ids).
+		Set("vlan-id", ids).Set("description", "seg-"+ids)
+	v.Set("member:"+iface, "true")
+	c.Upsert(v)
+}
+
+// addACL attaches a fresh ACL to the given interface.
+func (st *netState) addACL(c *confmodel.Config, iface string) {
+	name := fmt.Sprintf("ACL-%s-%03d", st.profile.name, st.nextACL)
+	st.nextACL++
+	s := confmodel.NewStanza(confmodel.TypeACL, name)
+	rules := 2 + st.r.Intn(6)
+	for i := 0; i < rules; i++ {
+		s.Set(fmt.Sprintf("rule:%d", (i+1)*10), st.randomACLRule())
+	}
+	c.Upsert(s)
+	if is := c.Get(confmodel.TypeInterface, iface); is != nil {
+		is.Set("acl-in", name)
+	}
+}
+
+func (st *netState) randomACLRule() string {
+	actions := []string{"permit", "deny"}
+	protos := []string{"tcp", "udp", "ip"}
+	ports := []string{"22", "53", "80", "443", "8080"}
+	r := st.r
+	return fmt.Sprintf("%s %s any any eq %s",
+		actions[r.Intn(2)], protos[r.Intn(3)], ports[r.Intn(len(ports))])
+}
+
+// addPool adds a load-balancer server pool.
+func (st *netState) addPool(c *confmodel.Config) {
+	r := st.r
+	name := fmt.Sprintf("POOL-%02d", r.Intn(90))
+	s := confmodel.NewStanza(confmodel.TypePool, name)
+	s.Set("monitor", "tcp-443")
+	members := 2 + r.Intn(6)
+	for i := 0; i < members; i++ {
+		s.Set(fmt.Sprintf("member:10.200.%d.%d:443", r.Intn(8), 1+r.Intn(250)),
+			fmt.Sprintf("%d", 1+r.Intn(9)))
+	}
+	c.Upsert(s)
+}
+
+// addRouterConstructs configures BGP/OSPF and routing policy on a router.
+func (st *netState) addRouterConstructs(c *confmodel.Config, dev *netmodel.Device) {
+	r := st.r
+	pr := st.profile
+	if pr.useBGP {
+		asn := fmt.Sprintf("%d", 64512+pr.index%1000)
+		s := confmodel.NewStanza(confmodel.TypeBGP, asn).Set("local-as", asn)
+		s.Set(fmt.Sprintf("network:10.%d.0.0/16", pr.index%200), "true")
+		c.Upsert(s)
+		if r.Bool(0.5) {
+			pl := "PL-NET"
+			plS := confmodel.NewStanza(confmodel.TypePrefixList, pl).
+				Set("rule:10", "permit 10.0.0.0/8")
+			c.Upsert(plS)
+			s.Set("prefix-list:"+pl, "in")
+			rm := "RM-EXPORT"
+			c.Upsert(confmodel.NewStanza(confmodel.TypeRouteMap, rm).
+				Set("entry:10", "permit match:"+pl))
+			s.Set("route-map:"+rm, "static")
+		}
+	}
+	if pr.useOSPF {
+		area := fmt.Sprintf("%d", r.Intn(2))
+		c.Upsert(confmodel.NewStanza(confmodel.TypeOSPF, "1").
+			Set("area", area).
+			Set(fmt.Sprintf("network:10.%d.0.0/16", pr.index%200), area))
+	}
+}
+
+// wireBGP connects the network's BGP speakers into peering sessions
+// (neighbor statements pointing at other routers' management IPs), forming
+// the adjacencies routing-instance extraction discovers. Most networks
+// wire one chain; larger ones form several disjoint instances (the paper
+// observes 1 to >20 BGP instances per network).
+func (st *netState) wireBGP() {
+	if !st.profile.useBGP {
+		return
+	}
+	var speakers []*netmodel.Device
+	for _, d := range st.devices {
+		if d.Role == netmodel.RoleRouter {
+			if len(st.configs[d.Name].OfType(confmodel.TypeBGP)) > 0 {
+				speakers = append(speakers, d)
+			}
+		}
+	}
+	if len(speakers) < 2 {
+		return
+	}
+	// Partition speakers into 1..k chains.
+	k := 1 + st.r.Intn(len(speakers))
+	if k > 4 {
+		k = 4
+	}
+	for i := 1; i < len(speakers); i++ {
+		if i%((len(speakers)+k-1)/k) == 0 {
+			continue // chain break: starts a new instance
+		}
+		a, b := speakers[i-1], speakers[i]
+		for _, s := range st.configs[a.Name].OfType(confmodel.TypeBGP) {
+			s.Set("neighbor:"+b.MgmtIP, s.Get("local-as"))
+		}
+		for _, s := range st.configs[b.Name].OfType(confmodel.TypeBGP) {
+			s.Set("neighbor:"+a.MgmtIP, s.Get("local-as"))
+		}
+	}
+}

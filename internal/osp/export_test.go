@@ -1,0 +1,6 @@
+package osp
+
+import "mpa/internal/rng"
+
+// newTestRNG gives tests a deterministic generator.
+func newTestRNG() *rng.RNG { return rng.New(1234) }

@@ -1,0 +1,276 @@
+package osp
+
+import (
+	"sort"
+
+	"fmt"
+
+	"mpa/internal/confmodel"
+	"mpa/internal/netmodel"
+)
+
+// mutation is the result of applying one event template to one device.
+type mutation struct {
+	device *netmodel.Device
+	types  []confmodel.Type // stanza types touched
+}
+
+// eligibleDevices returns the devices an event kind can apply to.
+func (st *netState) eligibleDevices(kind changeKind) []*netmodel.Device {
+	var out []*netmodel.Device
+	for _, d := range st.devices {
+		switch kind {
+		case ckPoolUpdate:
+			if d.Role == netmodel.RoleLoadBalancer || d.Role == netmodel.RoleADC {
+				out = append(out, d)
+			}
+		case ckRouterChange, ckPolicyChange:
+			if d.Role == netmodel.RoleRouter {
+				out = append(out, d)
+			}
+		default:
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applyEvent mutates the configuration of count devices according to the
+// event kind and returns the mutations performed. It falls back to an
+// interface edit when the kind has no eligible device.
+func (st *netState) applyEvent(kind changeKind, count int) []mutation {
+	pool := st.eligibleDevices(kind)
+	if len(pool) == 0 {
+		kind = ckInterfaceEdit
+		pool = st.devices
+	}
+	if count > len(pool) {
+		count = len(pool)
+	}
+	perm := st.r.Perm(len(pool))
+	var muts []mutation
+	// For VLAN additions all devices share the new VLAN id.
+	var newVLAN int
+	if kind == ckVLANAdd {
+		newVLAN = st.nextVLANID
+		st.nextVLANID++
+		st.vlanIDs = append(st.vlanIDs, newVLAN)
+	}
+	for i := 0; i < count; i++ {
+		dev := pool[perm[i]]
+		types := st.mutateDevice(dev, kind, newVLAN)
+		if len(types) > 0 {
+			muts = append(muts, mutation{device: dev, types: types})
+		}
+	}
+	return muts
+}
+
+// mutateDevice applies the event kind to one device's configuration and
+// returns the stanza types it touched.
+func (st *netState) mutateDevice(dev *netmodel.Device, kind changeKind, newVLAN int) []confmodel.Type {
+	r := st.r
+	c := st.configs[dev.Name]
+	switch kind {
+	case ckInterfaceEdit:
+		ifaces := c.OfType(confmodel.TypeInterface)
+		if len(ifaces) == 0 {
+			return nil
+		}
+		s := ifaces[r.Intn(len(ifaces))]
+		switch r.Intn(3) {
+		case 0:
+			s.Set("description", fmt.Sprintf("edited r%04x", r.Uint64()&0xffff))
+		case 1:
+			s.Set("mtu", []string{"1500", "9000", "9216"}[r.Intn(3)])
+		default:
+			if s.Get("shutdown") == "true" {
+				s.Delete("shutdown")
+			} else {
+				s.Set("shutdown", "true")
+			}
+		}
+		return []confmodel.Type{confmodel.TypeInterface}
+
+	case ckVLANAdd:
+		ifaces := c.OfType(confmodel.TypeInterface)
+		if len(ifaces) == 0 {
+			return nil
+		}
+		iface := ifaces[r.Intn(len(ifaces))].Name
+		st.attachVLAN(c, dev.Vendor, newVLAN, iface)
+		// The cross-vendor typing quirk (paper §2.2): on Cisco the
+		// membership edit touches the interface stanza too; on Juniper
+		// only the vlan stanza changes.
+		if dev.Vendor == netmodel.VendorCisco {
+			return []confmodel.Type{confmodel.TypeVLAN, confmodel.TypeInterface}
+		}
+		return []confmodel.Type{confmodel.TypeVLAN}
+
+	case ckVLANEdit:
+		vlans := c.OfType(confmodel.TypeVLAN)
+		if len(vlans) == 0 {
+			return nil
+		}
+		s := vlans[r.Intn(len(vlans))]
+		if r.Bool(0.12) && len(vlans) > 1 {
+			c.Remove(confmodel.TypeVLAN, s.Name)
+		} else {
+			s.Set("description", fmt.Sprintf("seg-r%04x", r.Uint64()&0xffff))
+		}
+		return []confmodel.Type{confmodel.TypeVLAN}
+
+	case ckACLEdit:
+		acls := c.OfType(confmodel.TypeACL)
+		if len(acls) == 0 {
+			ifaces := c.OfType(confmodel.TypeInterface)
+			if len(ifaces) == 0 {
+				return nil
+			}
+			st.addACL(c, ifaces[r.Intn(len(ifaces))].Name)
+			return []confmodel.Type{confmodel.TypeACL, confmodel.TypeInterface}
+		}
+		s := acls[r.Intn(len(acls))]
+		seq := (1 + r.Intn(9)) * 10
+		s.Set(fmt.Sprintf("rule:%d", seq), st.randomACLRule())
+		return []confmodel.Type{confmodel.TypeACL}
+
+	case ckPoolUpdate:
+		pools := c.OfType(confmodel.TypePool)
+		if len(pools) == 0 {
+			st.addPool(c)
+			return []confmodel.Type{confmodel.TypePool}
+		}
+		s := pools[r.Intn(len(pools))]
+		members := sortedKeys(s.OptionsWithPrefix("member:"))
+		if len(members) > 0 && r.Bool(0.7) {
+			// Adjust an existing member's weight: the paper's observation
+			// that most middlebox changes are simple pool adjustments.
+			m := members[r.Intn(len(members))]
+			s.Set("member:"+m, fmt.Sprintf("%d", 1+r.Intn(9)))
+		} else {
+			s.Set(fmt.Sprintf("member:10.200.%d.%d:443", r.Intn(8), 1+r.Intn(250)),
+				fmt.Sprintf("%d", 1+r.Intn(9)))
+		}
+		return []confmodel.Type{confmodel.TypePool}
+
+	case ckUserChange:
+		users := c.OfType(confmodel.TypeUser)
+		if len(users) > 1 && r.Bool(0.4) {
+			c.Remove(confmodel.TypeUser, users[r.Intn(len(users))].Name)
+		} else {
+			c.Upsert(confmodel.NewStanza(confmodel.TypeUser, fmt.Sprintf("acct%02d", st.nextUser)).
+				Set("role", "15").Set("hash", fmt.Sprintf("$1$h%04x", r.Uint64()&0xffff)))
+			st.nextUser++
+		}
+		return []confmodel.Type{confmodel.TypeUser}
+
+	case ckRouterChange:
+		bgps := c.OfType(confmodel.TypeBGP)
+		ospfs := c.OfType(confmodel.TypeOSPF)
+		switch {
+		case len(bgps) > 0 && (len(ospfs) == 0 || r.Bool(0.6)):
+			s := bgps[r.Intn(len(bgps))]
+			if neighbors := sortedKeys(s.OptionsWithPrefix("neighbor:")); len(neighbors) > 2 && r.Bool(0.3) {
+				s.Delete("neighbor:" + neighbors[r.Intn(len(neighbors))])
+			} else {
+				s.Set(fmt.Sprintf("neighbor:192.0.2.%d", 1+r.Intn(250)),
+					fmt.Sprintf("%d", 64512+r.Intn(500)))
+			}
+			return []confmodel.Type{confmodel.TypeBGP}
+		case len(ospfs) > 0:
+			s := ospfs[r.Intn(len(ospfs))]
+			s.Set(fmt.Sprintf("network:10.%d.%d.0/24", r.Intn(200), r.Intn(250)),
+				orArea(s.Get("area")))
+			return []confmodel.Type{confmodel.TypeOSPF}
+		default:
+			return nil
+		}
+
+	case ckMgmtChange:
+		switch r.Intn(3) {
+		case 0:
+			if s := c.Get(confmodel.TypeSNMP, "global"); s != nil {
+				s.Set("community", fmt.Sprintf("osp-mon-%d", r.Intn(100)))
+				return []confmodel.Type{confmodel.TypeSNMP}
+			}
+		case 1:
+			if s := c.Get(confmodel.TypeNTP, "global"); s != nil {
+				s.Set(fmt.Sprintf("server:10.250.0.%d", 2+r.Intn(8)), "true")
+				return []confmodel.Type{confmodel.TypeNTP}
+			}
+		default:
+			if s := c.Get(confmodel.TypeLogging, "global"); s != nil {
+				s.Set("level", []string{"informational", "warnings", "debugging"}[r.Intn(3)])
+				return []confmodel.Type{confmodel.TypeLogging}
+			}
+		}
+		return nil
+
+	case ckQoSChange:
+		qos := c.OfType(confmodel.TypeQoS)
+		if len(qos) == 0 {
+			c.Upsert(confmodel.NewStanza(confmodel.TypeQoS, fmt.Sprintf("PM-%02d", r.Intn(4))).
+				Set("class:gold", fmt.Sprintf("%d", 10+10*r.Intn(5))))
+			return []confmodel.Type{confmodel.TypeQoS}
+		}
+		s := qos[r.Intn(len(qos))]
+		s.Set("class:gold", fmt.Sprintf("%d", 10+10*r.Intn(5)))
+		return []confmodel.Type{confmodel.TypeQoS}
+
+	case ckSflowChange:
+		s := c.Get(confmodel.TypeSflow, "global")
+		if s == nil {
+			s = confmodel.NewStanza(confmodel.TypeSflow, "global").
+				Set("collector", "10.250.0.4")
+			c.Upsert(s)
+		}
+		s.Set("rate", fmt.Sprintf("%d", 1024*(1+r.Intn(8))))
+		return []confmodel.Type{confmodel.TypeSflow}
+
+	case ckDHCPRelayChange:
+		relays := c.OfType(confmodel.TypeDHCPRelay)
+		if len(relays) == 0 {
+			return nil
+		}
+		s := relays[r.Intn(len(relays))]
+		s.Set(fmt.Sprintf("server:10.250.0.%d", 9+r.Intn(6)), "true")
+		return []confmodel.Type{confmodel.TypeDHCPRelay}
+
+	case ckPolicyChange:
+		pls := c.OfType(confmodel.TypePrefixList)
+		rms := c.OfType(confmodel.TypeRouteMap)
+		switch {
+		case len(pls) > 0 && (len(rms) == 0 || r.Bool(0.5)):
+			s := pls[r.Intn(len(pls))]
+			s.Set(fmt.Sprintf("rule:%d", (1+r.Intn(9))*10),
+				fmt.Sprintf("permit 10.%d.0.0/16", r.Intn(200)))
+			return []confmodel.Type{confmodel.TypePrefixList}
+		case len(rms) > 0:
+			s := rms[r.Intn(len(rms))]
+			s.Set(fmt.Sprintf("entry:%d", (1+r.Intn(9))*10), "permit match:PL-NET")
+			return []confmodel.Type{confmodel.TypeRouteMap}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// random selection.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func orArea(area string) string {
+	if area == "" {
+		return "0"
+	}
+	return area
+}

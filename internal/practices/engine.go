@@ -1,0 +1,194 @@
+package practices
+
+import (
+	"fmt"
+	"time"
+
+	"mpa/internal/ciscoios"
+	"mpa/internal/confdiff"
+	"mpa/internal/confmodel"
+	"mpa/internal/events"
+	"mpa/internal/junos"
+	"mpa/internal/months"
+	"mpa/internal/netmodel"
+	"mpa/internal/nms"
+)
+
+// ChangeDetail is one inferred configuration change with the attributes
+// the characterization figures and event metrics need.
+type ChangeDetail struct {
+	Device    string
+	Time      time.Time
+	Automated bool
+	// Types lists the vendor-agnostic stanza types the change touched.
+	Types []confmodel.Type
+	// Middlebox reports whether the changed device is a middlebox.
+	Middlebox bool
+}
+
+// HasType reports whether the change touched the given stanza type.
+func (c ChangeDetail) HasType(t confmodel.Type) bool {
+	for _, ty := range c.Types {
+		if ty == t {
+			return true
+		}
+	}
+	return false
+}
+
+// HasRouterType reports whether the change touched a routing-protocol
+// stanza.
+func (c ChangeDetail) HasRouterType() bool {
+	for _, ty := range c.Types {
+		if ty.IsRouter() {
+			return true
+		}
+	}
+	return false
+}
+
+// MonthAnalysis is the inference output for one network-month: the 28
+// practice metrics plus the underlying change details (for
+// characterization and delta-sensitivity analyses).
+type MonthAnalysis struct {
+	Network string
+	Month   months.Month
+	Metrics Metrics
+	Changes []ChangeDetail
+}
+
+// Engine infers practice metrics from inventory records and the snapshot
+// archive. It is the analytics-side counterpart of the generator: it sees
+// only raw data, never ground truth.
+type Engine struct {
+	inv   *netmodel.Inventory
+	arch  *nms.Archive
+	delta time.Duration // change-event grouping threshold
+
+	cisco confmodel.Dialect
+	junos confmodel.Dialect
+}
+
+// NewEngine returns an inference engine over the given data sources using
+// the paper's default event-grouping threshold (5 minutes).
+func NewEngine(inv *netmodel.Inventory, arch *nms.Archive) *Engine {
+	return &Engine{
+		inv:   inv,
+		arch:  arch,
+		delta: events.DefaultDelta,
+		cisco: ciscoios.Dialect{},
+		junos: junos.Dialect{},
+	}
+}
+
+// SetDelta overrides the change-event grouping threshold (Figure 3's
+// sensitivity sweep). Non-positive disables grouping.
+func (e *Engine) SetDelta(d time.Duration) { e.delta = d }
+
+// parse parses a snapshot's text with the device's vendor dialect.
+func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config, error) {
+	d := e.junos
+	if dev.Vendor == netmodel.VendorCisco {
+		d = e.cisco
+	}
+	cfg, err := d.Parse(s.Text)
+	if err != nil {
+		return nil, fmt.Errorf("practices: parsing snapshot of %s at %v: %w", dev.Name, s.Time, err)
+	}
+	return cfg, nil
+}
+
+// AnalyzeNetwork computes the metrics for every month of the window for
+// one network. It walks each device's snapshot stream exactly once,
+// parsing every snapshot a single time, and evaluates design metrics from
+// the live end-of-month configuration state.
+func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnalysis, error) {
+	nw := e.inv.Network(name)
+	if nw == nil {
+		return nil, fmt.Errorf("practices: unknown network %q", name)
+	}
+
+	// Per-device cursor over the snapshot history.
+	type cursor struct {
+		dev   *netmodel.Device
+		hist  []*nms.Snapshot
+		pos   int               // next snapshot to consume
+		state *confmodel.Config // config as of consumed snapshots
+	}
+	cursors := make([]*cursor, 0, len(nw.Devices))
+	for _, dev := range nw.Devices {
+		cursors = append(cursors, &cursor{dev: dev, hist: e.arch.Snapshots(dev.Name)})
+	}
+
+	mgmtOwner := map[string]string{}
+	for _, dev := range nw.Devices {
+		mgmtOwner[dev.MgmtIP] = dev.Name
+	}
+
+	out := make([]MonthAnalysis, 0, len(window))
+	for _, m := range window {
+		end := m.End()
+		var changes []ChangeDetail
+		for _, cu := range cursors {
+			for cu.pos < len(cu.hist) && cu.hist[cu.pos].Time.Before(end) {
+				snap := cu.hist[cu.pos]
+				cu.pos++
+				cfg, err := e.parse(cu.dev, snap)
+				if err != nil {
+					return nil, err
+				}
+				if cu.state == nil {
+					cu.state = cfg // baseline import, not a change
+					continue
+				}
+				diff := confdiff.Diff(cu.state, cfg)
+				cu.state = cfg
+				if len(diff) == 0 {
+					continue // identical snapshot: no configuration change
+				}
+				// Only changes inside the analysis window count.
+				if months.Of(snap.Time) != m {
+					continue
+				}
+				types := make([]confmodel.Type, 0, 2)
+				for t := range confdiff.Types(diff) {
+					types = append(types, t)
+				}
+				changes = append(changes, ChangeDetail{
+					Device:    cu.dev.Name,
+					Time:      snap.Time,
+					Automated: e.arch.IsAutomated(snap.Login),
+					Types:     types,
+					Middlebox: cu.dev.Role.IsMiddlebox(),
+				})
+			}
+		}
+
+		// Assemble end-of-month configuration states.
+		var configs []*confmodel.Config
+		for _, cu := range cursors {
+			if cu.state != nil {
+				configs = append(configs, cu.state)
+			}
+		}
+
+		metrics := Metrics{}
+		e.designMetrics(metrics, nw, configs, mgmtOwner)
+		e.operationalMetrics(metrics, nw, changes)
+		out = append(out, MonthAnalysis{Network: name, Month: m, Metrics: metrics, Changes: changes})
+	}
+	return out, nil
+}
+
+// Analyze runs AnalyzeNetwork for every network in the inventory.
+func (e *Engine) Analyze(window []months.Month) (map[string][]MonthAnalysis, error) {
+	out := make(map[string][]MonthAnalysis, len(e.inv.Networks))
+	for _, nw := range e.inv.Networks {
+		ma, err := e.AnalyzeNetwork(nw.Name, window)
+		if err != nil {
+			return nil, err
+		}
+		out[nw.Name] = ma
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package practices
+
+import (
+	"time"
+
+	"mpa/internal/confmodel"
+	"mpa/internal/events"
+)
+
+// GroupChangesTyped implements the refinement the paper leaves as future
+// work (§2.2: "we plan to also consider the change type and affected
+// entities to more finely group related changes"): changes are first
+// chained by time as usual, then each time-chain is split into connected
+// components under the relation "shares at least one vendor-agnostic
+// stanza type or is on the same device". Two unrelated operations that
+// happen to interleave in time (e.g. an ACL rollout and an unrelated NTP
+// tweak) therefore become separate events, while a multi-device VLAN
+// rollout stays one event even on vendors that type the change
+// differently (interface on Cisco, vlan on Juniper) because the device
+// link keeps per-device sessions attached.
+func GroupChangesTyped(changes []ChangeDetail, delta time.Duration) [][]ChangeDetail {
+	timeGroups := events.GroupBy(changes, delta,
+		func(c ChangeDetail) time.Time { return c.Time },
+		func(c ChangeDetail) string { return c.Device })
+	var out [][]ChangeDetail
+	for _, g := range timeGroups {
+		out = append(out, splitByAffinity(g)...)
+	}
+	return out
+}
+
+// splitByAffinity partitions one time-chained group into connected
+// components under type/device affinity.
+func splitByAffinity(group []ChangeDetail) [][]ChangeDetail {
+	n := len(group)
+	if n <= 1 {
+		return [][]ChangeDetail{group}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Link changes sharing a type or a device. Index by type and device
+	// to stay linear.
+	byType := map[confmodel.Type]int{}
+	byDevice := map[string]int{}
+	for i, c := range group {
+		for _, ty := range c.Types {
+			if j, ok := byType[ty]; ok {
+				union(i, j)
+			} else {
+				byType[ty] = i
+			}
+		}
+		if j, ok := byDevice[c.Device]; ok {
+			union(i, j)
+		} else {
+			byDevice[c.Device] = i
+		}
+	}
+	// VLAN-related types are linked to interface changes: the same logical
+	// membership edit is typed differently across vendors (paper §2.2).
+	if vi, ok := byType[confmodel.TypeVLAN]; ok {
+		if ii, ok2 := byType[confmodel.TypeInterface]; ok2 {
+			union(vi, ii)
+		}
+	}
+
+	byRoot := map[int][]ChangeDetail{}
+	var roots []int
+	for i, c := range group {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], c)
+	}
+	out := make([][]ChangeDetail, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package practices
+
+import (
+	"testing"
+	"time"
+
+	"mpa/internal/confmodel"
+)
+
+func cd(dev string, minuteOffset int, types ...confmodel.Type) ChangeDetail {
+	base := time.Date(2014, 3, 1, 10, 0, 0, 0, time.UTC)
+	return ChangeDetail{
+		Device: dev,
+		Time:   base.Add(time.Duration(minuteOffset) * time.Minute),
+		Types:  types,
+	}
+}
+
+func TestTypedGroupingSplitsUnrelatedWork(t *testing.T) {
+	// An ACL rollout on two firewalls interleaved with an unrelated NTP
+	// tweak on a switch: plain grouping fuses all three, typed grouping
+	// separates the NTP change.
+	changes := []ChangeDetail{
+		cd("fw1", 0, confmodel.TypeACL),
+		cd("sw9", 1, confmodel.TypeNTP),
+		cd("fw2", 2, confmodel.TypeACL),
+	}
+	plain := GroupChanges(changes, 5*time.Minute)
+	if len(plain) != 1 {
+		t.Fatalf("plain groups = %d, want 1", len(plain))
+	}
+	typed := GroupChangesTyped(changes, 5*time.Minute)
+	if len(typed) != 2 {
+		t.Fatalf("typed groups = %d, want 2", len(typed))
+	}
+	sizes := map[int]int{}
+	for _, g := range typed {
+		sizes[len(g)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("typed group sizes = %v", sizes)
+	}
+}
+
+func TestTypedGroupingKeepsSameDeviceSession(t *testing.T) {
+	// Mixed-type edits on one device stay one event (a session).
+	changes := []ChangeDetail{
+		cd("sw1", 0, confmodel.TypeACL),
+		cd("sw1", 1, confmodel.TypeNTP),
+		cd("sw1", 2, confmodel.TypeQoS),
+	}
+	typed := GroupChangesTyped(changes, 5*time.Minute)
+	if len(typed) != 1 {
+		t.Fatalf("typed groups = %d, want 1 (same-device session)", len(typed))
+	}
+}
+
+func TestTypedGroupingBridgesVendorQuirk(t *testing.T) {
+	// A VLAN rollout typed as interface on the Cisco device and vlan on
+	// the Juniper device must remain one event.
+	changes := []ChangeDetail{
+		cd("cisco-sw", 0, confmodel.TypeInterface, confmodel.TypeVLAN),
+		cd("junos-sw", 1, confmodel.TypeVLAN),
+		cd("cisco-sw2", 2, confmodel.TypeInterface),
+	}
+	typed := GroupChangesTyped(changes, 5*time.Minute)
+	if len(typed) != 1 {
+		t.Fatalf("typed groups = %d, want 1 (vendor quirk bridged)", len(typed))
+	}
+}
+
+func TestTypedGroupingRespectsTimeChains(t *testing.T) {
+	// Same type but far apart in time: still separate events.
+	changes := []ChangeDetail{
+		cd("fw1", 0, confmodel.TypeACL),
+		cd("fw2", 60, confmodel.TypeACL),
+	}
+	typed := GroupChangesTyped(changes, 5*time.Minute)
+	if len(typed) != 2 {
+		t.Fatalf("typed groups = %d, want 2", len(typed))
+	}
+}
+
+func TestTypedGroupingNeverFewerThanPlain(t *testing.T) {
+	// Typed grouping refines plain grouping: it can only split.
+	name := testOSP.Inventory.Networks[0].Name
+	var changes []ChangeDetail
+	for _, ma := range testAnalysis[name] {
+		changes = append(changes, ma.Changes...)
+	}
+	if len(changes) == 0 {
+		t.Skip("no changes in first network")
+	}
+	plain := GroupChanges(changes, 5*time.Minute)
+	typed := GroupChangesTyped(changes, 5*time.Minute)
+	if len(typed) < len(plain) {
+		t.Errorf("typed %d < plain %d", len(typed), len(plain))
+	}
+	// Total change count preserved.
+	count := func(groups [][]ChangeDetail) int {
+		total := 0
+		for _, g := range groups {
+			total += len(g)
+		}
+		return total
+	}
+	if count(typed) != len(changes) || count(plain) != len(changes) {
+		t.Error("grouping lost or duplicated changes")
+	}
+}
+
+func TestTypedGroupingEmpty(t *testing.T) {
+	if got := GroupChangesTyped(nil, time.Minute); got != nil {
+		t.Errorf("empty input produced %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package practices implements MPA's inference engine (paper §2): it
+// reads the three raw data sources — inventory records, the configuration
+// snapshot archive, and vendor configuration text — and computes the 28
+// management-practice metrics of Table 1 per network and month, along with
+// the characterization detail the Appendix-A figures need.
+package practices
+
+// Metric names, in canonical order. The first 17 are design practices
+// (long-term structure and provisioning decisions, D1-D6); the remaining
+// 11 are operational practices (day-to-day change activity, O1-O4).
+const (
+	// Design practices.
+	MetricDevices          = "no_devices"
+	MetricVendors          = "no_vendors"
+	MetricModels           = "no_models"
+	MetricRoles            = "no_roles"
+	MetricFirmwareVersions = "no_firmware_versions"
+	MetricHardwareEntropy  = "hardware_entropy"
+	MetricFirmwareEntropy  = "firmware_entropy"
+	MetricL2Protocols      = "no_l2_protocols"
+	MetricL3Protocols      = "no_l3_protocols"
+	MetricVLANs            = "no_vlans"
+	MetricLAGGroups        = "no_lag_groups"
+	MetricBGPInstances     = "no_bgp_instances"
+	MetricOSPFInstances    = "no_ospf_instances"
+	MetricAvgBGPSize       = "avg_bgp_instance_size"
+	MetricAvgOSPFSize      = "avg_ospf_instance_size"
+	MetricIntraComplexity  = "intra_device_complexity"
+	MetricInterComplexity  = "inter_device_complexity"
+
+	// Operational practices.
+	MetricConfigChanges   = "no_config_changes"
+	MetricDevicesChanged  = "no_devices_changed"
+	MetricFracDevChanged  = "frac_devices_changed"
+	MetricChangeTypes     = "no_change_types"
+	MetricChangeEvents    = "no_change_events"
+	MetricDevicesPerEvent = "avg_devices_per_event"
+	MetricFracEventsAuto  = "frac_events_automated"
+	MetricFracEventsIface = "frac_events_iface"
+	MetricFracEventsACL   = "frac_events_acl"
+	MetricFracEventsRtr   = "frac_events_router"
+	MetricFracEventsMbox  = "frac_events_mbox"
+)
+
+// MetricNames lists all 28 practice metrics in canonical order.
+var MetricNames = []string{
+	MetricDevices, MetricVendors, MetricModels, MetricRoles,
+	MetricFirmwareVersions, MetricHardwareEntropy, MetricFirmwareEntropy,
+	MetricL2Protocols, MetricL3Protocols, MetricVLANs, MetricLAGGroups,
+	MetricBGPInstances, MetricOSPFInstances, MetricAvgBGPSize,
+	MetricAvgOSPFSize, MetricIntraComplexity, MetricInterComplexity,
+	MetricConfigChanges, MetricDevicesChanged, MetricFracDevChanged,
+	MetricChangeTypes, MetricChangeEvents, MetricDevicesPerEvent,
+	MetricFracEventsAuto, MetricFracEventsIface, MetricFracEventsACL,
+	MetricFracEventsRtr, MetricFracEventsMbox,
+}
+
+// designSet marks the design-practice metrics.
+var designSet = map[string]bool{
+	MetricDevices: true, MetricVendors: true, MetricModels: true,
+	MetricRoles: true, MetricFirmwareVersions: true,
+	MetricHardwareEntropy: true, MetricFirmwareEntropy: true,
+	MetricL2Protocols: true, MetricL3Protocols: true, MetricVLANs: true,
+	MetricLAGGroups: true, MetricBGPInstances: true,
+	MetricOSPFInstances: true, MetricAvgBGPSize: true,
+	MetricAvgOSPFSize: true, MetricIntraComplexity: true,
+	MetricInterComplexity: true,
+}
+
+// Category returns "design" or "operational" (paper Table 1's D/O
+// annotation) for a metric name, or "unknown".
+func Category(name string) string {
+	if designSet[name] {
+		return "design"
+	}
+	for _, n := range MetricNames {
+		if n == name {
+			return "operational"
+		}
+	}
+	return "unknown"
+}
+
+// DisplayName returns the paper-style human-readable name of a metric.
+func DisplayName(name string) string {
+	switch name {
+	case MetricDevices:
+		return "No. of devices"
+	case MetricVendors:
+		return "No. of vendors"
+	case MetricModels:
+		return "No. of models"
+	case MetricRoles:
+		return "No. of roles"
+	case MetricFirmwareVersions:
+		return "No. of firmware versions"
+	case MetricHardwareEntropy:
+		return "Hardware entropy"
+	case MetricFirmwareEntropy:
+		return "Firmware entropy"
+	case MetricL2Protocols:
+		return "No. of L2 protocols"
+	case MetricL3Protocols:
+		return "No. of L3 protocols"
+	case MetricVLANs:
+		return "No. of VLANs"
+	case MetricLAGGroups:
+		return "No. of LAG groups"
+	case MetricBGPInstances:
+		return "No. of BGP instances"
+	case MetricOSPFInstances:
+		return "No. of OSPF instances"
+	case MetricAvgBGPSize:
+		return "Avg. size of a BGP instance"
+	case MetricAvgOSPFSize:
+		return "Avg. size of an OSPF instance"
+	case MetricIntraComplexity:
+		return "Intra-device complexity"
+	case MetricInterComplexity:
+		return "Inter-device complexity"
+	case MetricConfigChanges:
+		return "No. of config changes"
+	case MetricDevicesChanged:
+		return "No. of devices changed"
+	case MetricFracDevChanged:
+		return "Frac. devices changed"
+	case MetricChangeTypes:
+		return "No. of change types"
+	case MetricChangeEvents:
+		return "No. of change events"
+	case MetricDevicesPerEvent:
+		return "Avg. devices changed per event"
+	case MetricFracEventsAuto:
+		return "Frac. events automated"
+	case MetricFracEventsIface:
+		return "Frac. events w/ interface change"
+	case MetricFracEventsACL:
+		return "Frac. events w/ ACL change"
+	case MetricFracEventsRtr:
+		return "Frac. events w/ router change"
+	case MetricFracEventsMbox:
+		return "Frac. events w/ mbox change"
+	default:
+		return name
+	}
+}
+
+// Metrics maps metric name to value for one network-month.
+type Metrics map[string]float64

@@ -1,0 +1,61 @@
+package qed
+
+import "mpa/internal/hypothesis"
+
+// Rosenbaum sensitivity analysis quantifies how robust a matched-pair
+// sign-test conclusion is to hidden bias — the paper's own caveat that
+// "we can never definitely prove causality with QEDs; any causal
+// relationships identified by MPA should be viewed as highly-likely
+// rather than guaranteed" (§5.2.4), made quantitative (Rosenbaum,
+// Observational Studies, 2002).
+//
+// Under hidden bias of magnitude Gamma, two matched cases may differ in
+// their odds of treatment by up to a factor Gamma despite identical
+// observed confounders. For the sign test, the worst case replaces the
+// fair coin with success probability Gamma/(1+Gamma); the reported
+// p-value is then an upper bound over all hidden biases of that size.
+
+// SensitivityPValue returns the worst-case (upper-bound) one-sided
+// sign-test p-value for the observed more/fewer split under hidden bias
+// Gamma >= 1. Gamma = 1 recovers the usual (one-sided) sign test.
+func SensitivityPValue(more, fewer int, gamma float64) float64 {
+	if gamma < 1 {
+		gamma = 1
+	}
+	n := more + fewer
+	if n == 0 {
+		return 1
+	}
+	// Worst-case success probability for a "more tickets" outcome.
+	p := gamma / (1 + gamma)
+	// P(X >= more) under Binomial(n, p): 1 - P(X <= more-1).
+	return 1 - hypothesis.BinomCDF(more-1, n, p)
+}
+
+// SensitivityGamma returns the largest hidden-bias magnitude Gamma at
+// which the matched-pair result stays significant at alpha (searched to
+// two decimals, capped at maxGamma). A return of 1 means the conclusion
+// is fragile: even the bias-free test barely holds or fails; larger
+// values mean an unobserved confounder would need to shift treatment
+// odds by that factor to explain the result away.
+func SensitivityGamma(more, fewer int, alpha, maxGamma float64) float64 {
+	if maxGamma < 1 {
+		maxGamma = 1
+	}
+	if SensitivityPValue(more, fewer, 1) >= alpha {
+		return 1
+	}
+	lo, hi := 1.0, maxGamma
+	if SensitivityPValue(more, fewer, hi) < alpha {
+		return maxGamma
+	}
+	for hi-lo > 0.01 {
+		mid := (lo + hi) / 2
+		if SensitivityPValue(more, fewer, mid) < alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,191 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator and the distribution samplers the MPA data synthesizer needs.
+//
+// Every stochastic component of the repository takes an explicit *RNG so
+// that a single seed reproduces an entire synthetic OSP, every learned
+// model, and every experiment table byte-for-byte. The generator is
+// splitmix64 (Steele, Lea, Flood 2014): tiny state, full 2^64 period over
+// seeds, and excellent statistical quality for simulation workloads.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator. The zero value is
+// a valid generator seeded with 0; prefer New to make the seed explicit.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent child generator from the current generator
+// state and a stream label. Forking lets one logical component (e.g. one
+// network) own a private stream so that adding draws in a sibling component
+// does not perturb it.
+func (r *RNG) Fork(label uint64) *RNG {
+	// Mix the label into a fresh state drawn from the parent. The golden
+	// ratio increment used by splitmix64 keeps distinct labels far apart.
+	return &RNG{state: r.Uint64() ^ (label * 0x9e3779b97f4a7c15)}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free reduction is unnecessary here; modulo
+	// bias for n << 2^64 is far below the noise floor of the simulation.
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntBetween returns a uniform int in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntBetween with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	// Draw u1 in (0,1] to keep the log finite.
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns exp(Normal(mu, sigma)). Log-normal draws model the
+// long-tailed practice metrics the paper characterizes (network sizes,
+// VLAN counts, reference counts).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean. It panics if mean <= 0.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exponential with non-positive mean")
+	}
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Poisson returns a Poisson-distributed count with the given rate lambda.
+// Knuth's multiplication method is used for small lambda and a normal
+// approximation (rounded, clamped at zero) above 30, where the error is
+// negligible for our ticket and change-count synthesis.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(r.Normal(lambda, math.Sqrt(lambda))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf returns a value in [1, n] following an approximate Zipf distribution
+// with exponent s, via inverse-CDF on the truncated harmonic series.
+// Used for vendor/model popularity, where a few models dominate.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 1
+	}
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += math.Pow(float64(i), -s)
+	}
+	u := r.Float64() * total
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += math.Pow(float64(i), -s)
+		if u <= cum {
+			return i
+		}
+	}
+	return n
+}
+
+// Choice returns a uniformly chosen index weighted by weights. Zero or
+// negative weights are treated as zero. If all weights are zero it returns
+// a uniform index.
+func (r *RNG) Choice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return r.Intn(len(weights))
+	}
+	u := r.Float64() * total
+	var cum float64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		cum += w
+		if u <= cum {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the n elements addressed by swap using Fisher-Yates.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,277 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws from distinct seeds", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked children with distinct labels produced identical first draw")
+	}
+}
+
+func TestForkReproducible(t *testing.T) {
+	mk := func() uint64 { return New(9).Fork(5).Uint64() }
+	if mk() != mk() {
+		t.Fatal("fork is not reproducible")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntBetween(t *testing.T) {
+	r := New(4)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntBetween(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntBetween(3,6) = %d", v)
+		}
+		seen[v] = true
+	}
+	for want := 3; want <= 6; want++ {
+		if !seen[want] {
+			t.Errorf("value %d never drawn", want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(8)
+	for _, lambda := range []float64{0.5, 3, 12, 80} {
+		const n = 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	r := New(9)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-1); got != 0 {
+		t.Fatalf("Poisson(-1) = %d, want 0", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(10)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Errorf("exponential mean = %v, want ~5", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(11)
+	counts := make([]int, 11)
+	for i := 0; i < 50000; i++ {
+		v := r.Zipf(10, 1.2)
+		if v < 1 || v > 10 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[5] || counts[5] <= counts[10] {
+		t.Errorf("Zipf counts not decreasing: %v", counts[1:])
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	if got := New(1).Zipf(1, 1); got != 1 {
+		t.Fatalf("Zipf(1) = %d", got)
+	}
+	if got := New(1).Zipf(0, 1); got != 1 {
+		t.Fatalf("Zipf(0) = %d", got)
+	}
+}
+
+func TestChoiceWeights(t *testing.T) {
+	r := New(12)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[r.Choice([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Errorf("choice counts do not follow weights: %v", counts)
+	}
+}
+
+func TestChoiceAllZeroUniform(t *testing.T) {
+	r := New(13)
+	counts := make([]int, 4)
+	for i := 0; i < 20000; i++ {
+		counts[r.Choice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 4000 || c > 6000 {
+			t.Errorf("uniform fallback index %d count %d not near 5000", i, c)
+		}
+	}
+}
+
+func TestChoiceNegativeTreatedZero(t *testing.T) {
+	r := New(14)
+	for i := 0; i < 1000; i++ {
+		if idx := r.Choice([]float64{-5, 1, -2}); idx != 1 {
+			t.Fatalf("choice picked zero-weight index %d", idx)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(15)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(16)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit fraction = %v", frac)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(1, 0.8); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package routing extracts routing instances from device configurations
+// (paper §2.2, D5, following Benson et al.'s configuration models): a
+// routing instance is a collection of routing processes of the same type
+// on different devices that are in the transitive closure of the
+// "adjacent-to" relationship. A network's routing instances collectively
+// implement its control plane.
+//
+// Adjacency rules per protocol:
+//
+//   - BGP: device A is adjacent to device B when A has a neighbor
+//     statement whose address is B's management IP (or vice versa);
+//   - OSPF: devices are adjacent when their OSPF processes share an area;
+//   - MSTP: devices are adjacent when their spanning-tree configuration
+//     names the same MST region.
+package routing
+
+import (
+	"sort"
+
+	"mpa/internal/confmodel"
+)
+
+// Protocol identifies a routing (or spanning-tree) protocol whose
+// instances are extracted.
+type Protocol int
+
+// Extractable protocols.
+const (
+	BGP Protocol = iota
+	OSPF
+	MSTP
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case BGP:
+		return "bgp"
+	case OSPF:
+		return "ospf"
+	case MSTP:
+		return "mstp"
+	default:
+		return "unknown"
+	}
+}
+
+// Instance is one routing instance: the set of devices whose processes
+// form a connected component under the adjacency relationship.
+type Instance struct {
+	Protocol Protocol
+	Devices  []string // sorted hostnames
+}
+
+// Size returns the number of devices in the instance.
+func (i *Instance) Size() int { return len(i.Devices) }
+
+// unionFind is a simple disjoint-set structure over device indexes.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// Extract returns the routing instances of the given protocol across the
+// configurations of one network's devices. mgmtIPOwner maps management IPs
+// to hostnames (needed for BGP adjacency); it may be nil for OSPF/MSTP.
+func Extract(configs []*confmodel.Config, mgmtIPOwner map[string]string, proto Protocol) []Instance {
+	// Collect participating devices and their adjacency keys.
+	type participant struct {
+		idx  int
+		cfg  *confmodel.Config
+		keys []string // adjacency keys: shared key => adjacent
+	}
+	hostIdx := map[string]int{}
+	var parts []participant
+	for _, c := range configs {
+		var keys []string
+		switch proto {
+		case BGP:
+			if len(c.OfType(confmodel.TypeBGP)) == 0 {
+				continue
+			}
+		case OSPF:
+			for _, s := range c.OfType(confmodel.TypeOSPF) {
+				if area := s.Get("area"); area != "" {
+					keys = append(keys, "area:"+area)
+				}
+				for _, area := range s.OptionsWithPrefix("network:") {
+					keys = append(keys, "area:"+area)
+				}
+			}
+			if len(keys) == 0 {
+				continue
+			}
+		case MSTP:
+			for _, s := range c.OfType(confmodel.TypeSTP) {
+				mode := s.Get("mode")
+				if mode != "mst" && mode != "mstp" {
+					continue
+				}
+				if region := s.Get("region"); region != "" {
+					keys = append(keys, "region:"+region)
+				}
+			}
+			if len(keys) == 0 {
+				continue
+			}
+		}
+		hostIdx[c.Hostname] = len(parts)
+		parts = append(parts, participant{idx: len(parts), cfg: c, keys: keys})
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+
+	uf := newUnionFind(len(parts))
+	switch proto {
+	case BGP:
+		// Adjacency via neighbor statements resolving to peer devices.
+		for _, p := range parts {
+			for _, s := range p.cfg.OfType(confmodel.TypeBGP) {
+				for ip := range s.OptionsWithPrefix("neighbor:") {
+					owner, ok := mgmtIPOwner[ip]
+					if !ok {
+						continue
+					}
+					if oi, ok := hostIdx[owner]; ok && oi != p.idx {
+						uf.union(p.idx, oi)
+					}
+				}
+			}
+		}
+	case OSPF, MSTP:
+		// Adjacency via shared keys.
+		byKey := map[string][]int{}
+		for _, p := range parts {
+			for _, k := range p.keys {
+				byKey[k] = append(byKey[k], p.idx)
+			}
+		}
+		for _, idxs := range byKey {
+			for _, i := range idxs[1:] {
+				uf.union(idxs[0], i)
+			}
+		}
+	}
+
+	// Gather components.
+	byRoot := map[int][]string{}
+	for _, p := range parts {
+		root := uf.find(p.idx)
+		byRoot[root] = append(byRoot[root], p.cfg.Hostname)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([]Instance, 0, len(roots))
+	for _, r := range roots {
+		devs := byRoot[r]
+		sort.Strings(devs)
+		out = append(out, Instance{Protocol: proto, Devices: devs})
+	}
+	// Deterministic order by first device name.
+	sort.Slice(out, func(i, j int) bool { return out[i].Devices[0] < out[j].Devices[0] })
+	return out
+}
+
+// Summary holds the D5 metrics for one protocol in one network.
+type Summary struct {
+	Count   int
+	AvgSize float64
+}
+
+// Summarize returns instance count and average size for the protocol.
+func Summarize(configs []*confmodel.Config, mgmtIPOwner map[string]string, proto Protocol) Summary {
+	instances := Extract(configs, mgmtIPOwner, proto)
+	if len(instances) == 0 {
+		return Summary{}
+	}
+	total := 0
+	for _, in := range instances {
+		total += in.Size()
+	}
+	return Summary{Count: len(instances), AvgSize: float64(total) / float64(len(instances))}
+}

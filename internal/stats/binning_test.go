@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinnerBasic(t *testing.T) {
+	// 100 values 1..100: 5th pct = 5.95, 95th pct = 95.05.
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i + 1)
+	}
+	b := NewBinner(values, 10)
+	lo, hi := b.Bounds()
+	if lo >= hi {
+		t.Fatalf("bounds inverted: %v >= %v", lo, hi)
+	}
+	if got := b.Bin(lo - 100); got != 0 {
+		t.Errorf("below lower anchor -> bin %d, want 0", got)
+	}
+	if got := b.Bin(hi + 100); got != 9 {
+		t.Errorf("above upper anchor -> bin %d, want 9", got)
+	}
+	if got := b.Bin((lo + hi) / 2); got < 4 || got > 5 {
+		t.Errorf("midpoint -> bin %d, want 4 or 5", got)
+	}
+}
+
+func TestBinnerMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := seed
+		values := make([]float64, 64)
+		for i := range values {
+			s = s*6364136223846793005 + 1442695040888963407
+			values[i] = float64(s>>40) / 256
+		}
+		b := NewBinner(values, 5)
+		prev := -1
+		lo, hi := b.Bounds()
+		step := (hi - lo + 2) / 50
+		for v := lo - 1; v <= hi+1; v += step {
+			bin := b.Bin(v)
+			if bin < prev || bin < 0 || bin >= 5 {
+				return false
+			}
+			prev = bin
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinnerDegenerate(t *testing.T) {
+	b := NewBinner([]float64{4, 4, 4, 4}, 10)
+	for _, v := range []float64{-1, 0, 4, 100} {
+		if got := b.Bin(v); got != 0 {
+			t.Errorf("degenerate Bin(%v) = %d, want 0", v, got)
+		}
+	}
+	b = NewBinner(nil, 3)
+	if got := b.Bin(5); got != 0 {
+		t.Errorf("empty-data Bin = %d", got)
+	}
+}
+
+func TestBinnerSingleBin(t *testing.T) {
+	b := NewBinner([]float64{1, 2, 3}, 1)
+	if got := b.Bin(2); got != 0 {
+		t.Errorf("single-bin = %d", got)
+	}
+}
+
+func TestBinnerPanicsOnZeroBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBinner(0 bins) did not panic")
+		}
+	}()
+	NewBinner([]float64{1}, 0)
+}
+
+func TestBinnerLongTailSpread(t *testing.T) {
+	// A long-tailed distribution (most mass small, few huge values) must
+	// not collapse into one bin: the 5/95 anchoring is the paper's fix.
+	values := make([]float64, 0, 1000)
+	for i := 0; i < 970; i++ {
+		values = append(values, float64(i%100)) // bulk in [0,100)
+	}
+	for i := 0; i < 30; i++ {
+		values = append(values, 1e6) // extreme 3% tail
+	}
+	binned, _ := BinValues(values, 10)
+	seen := map[int]bool{}
+	for _, b := range binned {
+		seen[b] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("long-tail data collapsed into %d bins", len(seen))
+	}
+}
+
+func TestBinnerBoundsReuse(t *testing.T) {
+	b := NewBinnerBounds(0, 10, 5)
+	cases := []struct {
+		v    float64
+		want int
+	}{{-5, 0}, {0, 0}, {1, 0}, {3, 1}, {5, 2}, {9.9, 4}, {10, 4}, {50, 4}}
+	for _, c := range cases {
+		if got := b.Bin(c.v); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBinAllMatchesBin(t *testing.T) {
+	values := []float64{1, 5, 9, 2, 8}
+	b := NewBinner(values, 4)
+	all := b.BinAll(values)
+	for i, v := range values {
+		if all[i] != b.Bin(v) {
+			t.Errorf("BinAll[%d] = %d, Bin = %d", i, all[i], b.Bin(v))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// The information-theoretic quantities below operate on discretized
+// (binned) variables, matching the paper's pipeline: metrics are first
+// reduced to monthly means per network, then binned (§5.1.1), and only then
+// fed to MI/CMI (§5.1). All entropies are in bits (log base 2).
+
+// Entropy returns H(X) = -sum_i p(x_i) log2 p(x_i) over the empirical
+// distribution of the binned variable xs.
+func Entropy(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	for _, x := range xs {
+		counts[x]++
+	}
+	// Sum in sorted-symbol order: floating-point addition is not
+	// associative, and map iteration order would make the last bits of
+	// the entropy nondeterministic.
+	symbols := make([]int, 0, len(counts))
+	for x := range counts {
+		symbols = append(symbols, x)
+	}
+	sort.Ints(symbols)
+	n := float64(len(xs))
+	var h float64
+	for _, x := range symbols {
+		p := float64(counts[x]) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// NormalizedEntropy returns Entropy(xs) / log2(n) where n = len(xs), the
+// paper's hardware/firmware heterogeneity metric form (§2.2, D3): each
+// sample is one device, its symbol the (model, role) pair, and the
+// normalizer the network size. Values near 1 indicate high heterogeneity.
+// It returns 0 when n < 2.
+func NormalizedEntropy(xs []int) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return Entropy(xs) / math.Log2(float64(len(xs)))
+}
+
+// ConditionalEntropy returns H(Y|X) = sum_{i,j} p(y_i, x_j) log2
+// (p(x_j)/p(y_i,x_j)), following the paper's definition verbatim.
+func ConditionalEntropy(ys, xs []int) float64 {
+	if len(ys) == 0 || len(ys) != len(xs) {
+		return 0
+	}
+	n := float64(len(ys))
+	joint := map[[2]int]int{}
+	margX := map[int]int{}
+	for i := range ys {
+		joint[[2]int{ys[i], xs[i]}]++
+		margX[xs[i]]++
+	}
+	// Deterministic summation order (see Entropy).
+	keys := make([][2]int, 0, len(joint))
+	for k := range joint {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	var h float64
+	for _, k := range keys {
+		pxy := float64(joint[k]) / n
+		px := float64(margX[k[1]]) / n
+		h += pxy * math.Log2(px/pxy)
+	}
+	return h
+}
+
+// MutualInformation returns I(X;Y) = H(Y) - H(Y|X) over binned variables.
+// MI is symmetric and non-negative up to floating-point error.
+func MutualInformation(xs, ys []int) float64 {
+	mi := Entropy(ys) - ConditionalEntropy(ys, xs)
+	if mi < 0 && mi > -1e-12 {
+		return 0
+	}
+	return mi
+}
+
+// ConditionalMutualInformation returns I(X1;X2 | Y) = H(X1|Y) -
+// H(X1|X2,Y): the expected mutual information between two practices given
+// network health (paper §5.1.1). It is symmetric in X1 and X2.
+func ConditionalMutualInformation(x1, x2, ys []int) float64 {
+	if len(x1) != len(x2) || len(x1) != len(ys) || len(x1) == 0 {
+		return 0
+	}
+	// H(X1|Y) via the generic conditional entropy.
+	hX1Y := ConditionalEntropy(x1, ys)
+	// H(X1 | X2, Y): condition on the joint symbol (x2, y).
+	combined := make([]int, len(x1))
+	// Pack (x2, y) into a single symbol. Bin counts are small (<=10), so a
+	// simple pairing works; use an offset beyond any plausible bin count.
+	const stride = 1 << 16
+	for i := range combined {
+		combined[i] = x2[i]*stride + ys[i]
+	}
+	hX1X2Y := ConditionalEntropy(x1, combined)
+	cmi := hX1Y - hX1X2Y
+	if cmi < 0 && cmi > -1e-12 {
+		return 0
+	}
+	return cmi
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropyUniform(t *testing.T) {
+	// Four equally likely symbols: H = 2 bits.
+	xs := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	if got := Entropy(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Entropy = %v, want 2", got)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if got := Entropy([]int{7, 7, 7}); got != 0 {
+		t.Errorf("constant entropy = %v", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("empty entropy = %v", got)
+	}
+}
+
+func TestEntropyBiasedCoin(t *testing.T) {
+	// P(0)=3/4, P(1)=1/4: H = 0.75*log2(4/3) + 0.25*2 ~ 0.8113.
+	xs := []int{0, 0, 0, 1}
+	want := 0.75*math.Log2(4.0/3.0) + 0.25*2
+	if got := Entropy(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("Entropy = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizedEntropy(t *testing.T) {
+	// Four distinct symbols over four samples: H = 2, log2(4) = 2, so 1.
+	if got := NormalizedEntropy([]int{0, 1, 2, 3}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("max heterogeneity = %v, want 1", got)
+	}
+	if got := NormalizedEntropy([]int{5, 5, 5, 5}); got != 0 {
+		t.Errorf("homogeneous = %v, want 0", got)
+	}
+	if got := NormalizedEntropy([]int{1}); got != 0 {
+		t.Errorf("singleton = %v, want 0", got)
+	}
+}
+
+func TestConditionalEntropyIndependent(t *testing.T) {
+	// X and Y independent uniform bits: H(Y|X) = H(Y) = 1.
+	var xs, ys []int
+	for i := 0; i < 4; i++ {
+		xs = append(xs, i%2)
+		ys = append(ys, i/2)
+	}
+	if got := ConditionalEntropy(ys, xs); !almostEq(got, 1, 1e-12) {
+		t.Errorf("H(Y|X) = %v, want 1", got)
+	}
+}
+
+func TestConditionalEntropyDeterministic(t *testing.T) {
+	// Y = X: H(Y|X) = 0.
+	xs := []int{0, 1, 2, 0, 1, 2}
+	if got := ConditionalEntropy(xs, xs); !almostEq(got, 0, 1e-12) {
+		t.Errorf("H(X|X) = %v, want 0", got)
+	}
+}
+
+func TestMutualInformationPerfect(t *testing.T) {
+	// Y = X with 4 uniform symbols: I = H(Y) = 2 bits.
+	xs := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	if got := MutualInformation(xs, xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("I(X;X) = %v, want 2", got)
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	var xs, ys []int
+	for i := 0; i < 16; i++ {
+		xs = append(xs, i%4)
+		ys = append(ys, i/4)
+	}
+	if got := MutualInformation(xs, ys); !almostEq(got, 0, 1e-12) {
+		t.Errorf("independent MI = %v, want 0", got)
+	}
+}
+
+func TestMutualInformationSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		xs := make([]int, 60)
+		ys := make([]int, 60)
+		s := seed
+		for i := range xs {
+			s = s*6364136223846793005 + 1442695040888963407
+			xs[i] = int(s>>60) % 4
+			s = s*6364136223846793005 + 1442695040888963407
+			ys[i] = int(s>>61) % 3
+		}
+		return almostEq(MutualInformation(xs, ys), MutualInformation(ys, xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutualInformationNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		xs := make([]int, 40)
+		ys := make([]int, 40)
+		s := seed
+		for i := range xs {
+			s = s*6364136223846793005 + 1442695040888963407
+			xs[i] = int(s>>59) % 5
+			s = s*6364136223846793005 + 1442695040888963407
+			ys[i] = int(s>>58) % 5
+		}
+		return MutualInformation(xs, ys) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIDetectsDependence(t *testing.T) {
+	// Y noisy copy of X should carry more information than an unrelated Z.
+	var xs, ys, zs []int
+	s := uint64(99)
+	next := func(mod int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int(s>>33) % mod
+	}
+	for i := 0; i < 500; i++ {
+		x := next(4)
+		y := x
+		if next(10) == 0 { // 10% noise
+			y = next(4)
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+		zs = append(zs, next(4))
+	}
+	if MutualInformation(xs, ys) <= MutualInformation(zs, ys)+0.2 {
+		t.Errorf("MI failed to separate dependent (%.3f) from independent (%.3f)",
+			MutualInformation(xs, ys), MutualInformation(zs, ys))
+	}
+}
+
+func TestCMISymmetricInX1X2(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 80
+		x1 := make([]int, n)
+		x2 := make([]int, n)
+		ys := make([]int, n)
+		s := seed
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int(s>>55) % mod
+		}
+		for i := 0; i < n; i++ {
+			x1[i], x2[i], ys[i] = next(4), next(4), next(2)
+		}
+		return almostEq(ConditionalMutualInformation(x1, x2, ys),
+			ConditionalMutualInformation(x2, x1, ys), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMIDeterministicPair(t *testing.T) {
+	// X2 = X1 regardless of Y: CMI = H(X1|Y) which is positive for varied X1.
+	x1 := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	ys := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	got := ConditionalMutualInformation(x1, x1, ys)
+	if !almostEq(got, 2, 1e-12) { // H(X1|Y) = 2 bits (uniform over 4 within each y)
+		t.Errorf("CMI of identical practices = %v, want 2", got)
+	}
+}
+
+func TestCMIIndependentIsZero(t *testing.T) {
+	// Fully factorized uniform X1, X2, Y.
+	var x1, x2, ys []int
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 2; c++ {
+				x1 = append(x1, a)
+				x2 = append(x2, b)
+				ys = append(ys, c)
+			}
+		}
+	}
+	if got := ConditionalMutualInformation(x1, x2, ys); !almostEq(got, 0, 1e-12) {
+		t.Errorf("independent CMI = %v, want 0", got)
+	}
+}
+
+func TestMismatchedLengths(t *testing.T) {
+	if got := MutualInformation([]int{1, 2}, []int{1}); got != 0 {
+		t.Errorf("mismatched MI = %v", got)
+	}
+	if got := ConditionalMutualInformation([]int{1}, []int{1, 2}, []int{1}); got != 0 {
+		t.Errorf("mismatched CMI = %v", got)
+	}
+}

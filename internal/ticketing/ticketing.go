@@ -1,0 +1,157 @@
+// Package ticketing models the incident-management substrate MPA reads
+// network health from (paper §2.1, data source 3). Tickets are created
+// when monitoring alarms fire, when users report problems, or when
+// operators conduct planned maintenance; MPA excludes maintenance tickets
+// because they are unlikely to be triggered by performance or availability
+// problems (§2.2). The paper's health metric is the monthly count of
+// non-maintenance tickets per network.
+package ticketing
+
+import (
+	"sort"
+	"time"
+
+	"mpa/internal/months"
+)
+
+// Origin classifies how a ticket was created.
+type Origin int
+
+// Ticket origins.
+const (
+	OriginAlarm Origin = iota // monitoring system raised an alarm
+	OriginUserReport
+	OriginMaintenance // planned maintenance; excluded from health
+)
+
+// String returns the origin name.
+func (o Origin) String() string {
+	switch o {
+	case OriginAlarm:
+		return "alarm"
+	case OriginUserReport:
+		return "user-report"
+	case OriginMaintenance:
+		return "maintenance"
+	default:
+		return "unknown"
+	}
+}
+
+// Ticket is one trouble ticket. The structured fields mirror the paper's
+// description: discovery and resolution times, the devices causing or
+// affected by the problem, and a symptom selected from a predefined list.
+// Free-text diagnosis notes model the unstructured portion.
+type Ticket struct {
+	ID       int
+	Network  string
+	Devices  []string
+	Origin   Origin
+	Opened   time.Time
+	Resolved time.Time // zero while open; may lag the actual fix
+	Symptom  string
+	Notes    string
+}
+
+// Log is an organization's ticket history.
+type Log struct {
+	tickets []*Ticket
+	nextID  int
+}
+
+// NewLog returns an empty ticket log.
+func NewLog() *Log { return &Log{nextID: 1} }
+
+// File records a new ticket, assigning it the next ID, and returns it.
+func (l *Log) File(t Ticket) *Ticket {
+	t.ID = l.nextID
+	l.nextID++
+	stored := t
+	l.tickets = append(l.tickets, &stored)
+	return &stored
+}
+
+// All returns every ticket in filing order.
+func (l *Log) All() []*Ticket { return l.tickets }
+
+// Len returns the number of tickets.
+func (l *Log) Len() int { return len(l.tickets) }
+
+// ForNetwork returns the network's tickets in filing order.
+func (l *Log) ForNetwork(network string) []*Ticket {
+	var out []*Ticket
+	for _, t := range l.tickets {
+		if t.Network == network {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HealthCount returns the network's health metric for the month: the
+// number of tickets opened in that month, excluding planned maintenance.
+func (l *Log) HealthCount(network string, m months.Month) int {
+	count := 0
+	for _, t := range l.tickets {
+		if t.Network != network || t.Origin == OriginMaintenance {
+			continue
+		}
+		if months.Of(t.Opened) == m {
+			count++
+		}
+	}
+	return count
+}
+
+// MonthlyHealth returns the per-month non-maintenance ticket counts for a
+// network over the given months.
+func (l *Log) MonthlyHealth(network string, ms []months.Month) []int {
+	idx := map[months.Month]int{}
+	for i, m := range ms {
+		idx[m] = i
+	}
+	out := make([]int, len(ms))
+	for _, t := range l.tickets {
+		if t.Network != network || t.Origin == OriginMaintenance {
+			continue
+		}
+		if i, ok := idx[months.Of(t.Opened)]; ok {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Networks returns the sorted set of networks with at least one ticket.
+func (l *Log) Networks() []string {
+	seen := map[string]bool{}
+	for _, t := range l.tickets {
+		seen[t.Network] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanTimeToResolve returns the mean resolution latency of the network's
+// resolved non-maintenance tickets. The paper notes this metric is less
+// reliable than ticket counts because tickets are sometimes not marked
+// resolved until well after the fix; it is provided for completeness.
+func (l *Log) MeanTimeToResolve(network string) time.Duration {
+	var total time.Duration
+	n := 0
+	for _, t := range l.ForNetwork(network) {
+		if t.Origin == OriginMaintenance || t.Resolved.IsZero() {
+			continue
+		}
+		total += t.Resolved.Sub(t.Opened)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}

@@ -1,0 +1,95 @@
+package ticketing
+
+import (
+	"testing"
+	"time"
+
+	"mpa/internal/months"
+)
+
+func at(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}
+
+func TestFileAssignsIDs(t *testing.T) {
+	l := NewLog()
+	a := l.File(Ticket{Network: "n1", Opened: at(2014, 3, 1)})
+	b := l.File(Ticket{Network: "n1", Opened: at(2014, 3, 2)})
+	if a.ID != 1 || b.ID != 2 {
+		t.Errorf("IDs = %d, %d", a.ID, b.ID)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestHealthCountExcludesMaintenance(t *testing.T) {
+	l := NewLog()
+	m := months.Month{Year: 2014, Mon: time.March}
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: at(2014, 3, 1)})
+	l.File(Ticket{Network: "n1", Origin: OriginUserReport, Opened: at(2014, 3, 5)})
+	l.File(Ticket{Network: "n1", Origin: OriginMaintenance, Opened: at(2014, 3, 9)})
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: at(2014, 4, 1)}) // other month
+	l.File(Ticket{Network: "n2", Origin: OriginAlarm, Opened: at(2014, 3, 2)}) // other net
+	if got := l.HealthCount("n1", m); got != 2 {
+		t.Errorf("HealthCount = %d, want 2", got)
+	}
+}
+
+func TestMonthlyHealth(t *testing.T) {
+	l := NewLog()
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: at(2014, 3, 1)})
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: at(2014, 3, 2)})
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: at(2014, 5, 1)})
+	ms := months.Range(months.Month{Year: 2014, Mon: time.March}, months.Month{Year: 2014, Mon: time.May})
+	got := l.MonthlyHealth("n1", ms)
+	if len(got) != 3 || got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("MonthlyHealth = %v", got)
+	}
+}
+
+func TestForNetworkAndNetworks(t *testing.T) {
+	l := NewLog()
+	l.File(Ticket{Network: "b", Opened: at(2014, 1, 1)})
+	l.File(Ticket{Network: "a", Opened: at(2014, 1, 2)})
+	l.File(Ticket{Network: "b", Opened: at(2014, 1, 3)})
+	if got := len(l.ForNetwork("b")); got != 2 {
+		t.Errorf("ForNetwork(b) = %d", got)
+	}
+	nets := l.Networks()
+	if len(nets) != 2 || nets[0] != "a" || nets[1] != "b" {
+		t.Errorf("Networks = %v", nets)
+	}
+}
+
+func TestMeanTimeToResolve(t *testing.T) {
+	l := NewLog()
+	open := at(2014, 3, 1)
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: open, Resolved: open.Add(2 * time.Hour)})
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: open, Resolved: open.Add(4 * time.Hour)})
+	l.File(Ticket{Network: "n1", Origin: OriginAlarm, Opened: open}) // unresolved: skipped
+	l.File(Ticket{Network: "n1", Origin: OriginMaintenance, Opened: open, Resolved: open.Add(100 * time.Hour)})
+	if got := l.MeanTimeToResolve("n1"); got != 3*time.Hour {
+		t.Errorf("MTTR = %v, want 3h", got)
+	}
+	if got := l.MeanTimeToResolve("empty"); got != 0 {
+		t.Errorf("MTTR of empty = %v", got)
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginAlarm.String() != "alarm" || OriginUserReport.String() != "user-report" ||
+		OriginMaintenance.String() != "maintenance" || Origin(9).String() != "unknown" {
+		t.Error("origin names wrong")
+	}
+}
+
+func TestFileCopiesTicket(t *testing.T) {
+	l := NewLog()
+	orig := Ticket{Network: "n1", Opened: at(2014, 1, 1)}
+	stored := l.File(orig)
+	orig.Network = "mutated"
+	if stored.Network != "n1" {
+		t.Error("File did not copy the ticket")
+	}
+}

@@ -1,0 +1,34 @@
+package mpa
+
+import (
+	"mpa/internal/dataio"
+)
+
+// DefaultAutomationAccounts are the logins the synthetic OSP's NMS
+// classifies as automation accounts. Organizations loading their own data
+// pass their real service-account names to LoadOrganization.
+var DefaultAutomationAccounts = []string{"svc-netauto", "rancid-bot", "svc-lbsync"}
+
+// Save writes the framework's raw data sources to dir in open formats:
+// inventory.json, tickets.csv, and a RANCID-style snapshots/ tree. The
+// layout round-trips through LoadOrganization, so a synthetic organization
+// can be exported once and analyzed repeatedly (or inspected by hand).
+func (f *Framework) Save(dir string) error {
+	return dataio.SaveOrganization(dir, f.env.OSP.Inventory, f.env.OSP.Archive, f.env.OSP.Tickets)
+}
+
+// LoadOrganization reads an organization's data from dir (the layout
+// Save writes: inventory.json, tickets.csv, snapshots/<device>/*.cfg) and
+// runs the inference pipeline over [start, end]. specialAccounts lists the
+// logins whose changes count as automated; nil uses
+// DefaultAutomationAccounts.
+func LoadOrganization(dir string, specialAccounts []string, start, end Month) (*Framework, error) {
+	if specialAccounts == nil {
+		specialAccounts = DefaultAutomationAccounts
+	}
+	inv, arch, tickets, err := dataio.LoadOrganization(dir, specialAccounts)
+	if err != nil {
+		return nil, err
+	}
+	return New(inv, arch, tickets, start, end)
+}

@@ -1,0 +1,257 @@
+// Package mpa is a management plane analytics framework: a full
+// reproduction of "Management Plane Analytics" (Gember-Jacobson, Wu, Li,
+// Akella, Mahajan — IMC 2015).
+//
+// MPA helps an organization that operates a collection of networks
+// understand and improve its management plane. It infers management
+// practices — design practices like hardware heterogeneity and routing
+// structure, and operational practices like change frequency, typing, and
+// automation — from three commonly available data sources: inventory
+// records, device-configuration snapshots, and trouble-ticket logs. It
+// then (i) identifies which practices have a statistical and causal
+// relationship with network health, via mutual information and
+// propensity-score-matched quasi-experiments, and (ii) learns predictive
+// models of health from practices, handling the heavy healthy-network
+// skew with oversampling and boosting.
+//
+// The simplest entry point is a synthetic organization:
+//
+//	f, err := mpa.NewSynthetic(mpa.SmallConfig(1))
+//	top := f.RankPractices()[:5]          // strongest dependences
+//	res, _ := f.AnalyzeCausal(top[0].Metric)
+//	model, _ := f.TrainHealthModel(mpa.TwoClass)
+//
+// Organizations with their own data construct the three substrates
+// (netmodel.Inventory, nms.Archive, ticketing.Log re-exported here) and
+// call New.
+package mpa
+
+import (
+	"fmt"
+	"time"
+
+	"mpa/internal/dataset"
+	"mpa/internal/experiments"
+	"mpa/internal/months"
+	"mpa/internal/netmodel"
+	"mpa/internal/nms"
+	"mpa/internal/osp"
+	"mpa/internal/practices"
+	"mpa/internal/qed"
+	"mpa/internal/ticketing"
+)
+
+// Re-exported substrate types, so callers can assemble their own data
+// sources and name every result type without reaching into internal
+// packages.
+type (
+	// Month is a calendar month (UTC).
+	Month = months.Month
+	// Inventory is the organization's device/network inventory.
+	Inventory = netmodel.Inventory
+	// Network is one managed network.
+	Network = netmodel.Network
+	// Device is one inventory record.
+	Device = netmodel.Device
+	// Archive is the configuration-snapshot archive (NMS).
+	Archive = nms.Archive
+	// Snapshot is one archived device configuration.
+	Snapshot = nms.Snapshot
+	// TicketLog is the trouble-ticket history.
+	TicketLog = ticketing.Log
+	// Ticket is one trouble ticket.
+	Ticket = ticketing.Ticket
+	// Dataset is the network-month case matrix.
+	Dataset = dataset.Dataset
+	// Case is one network-month observation.
+	Case = dataset.Case
+	// Metrics maps practice-metric names to values.
+	Metrics = practices.Metrics
+	// CausalResult is a matched-design analysis of one practice.
+	CausalResult = qed.Result
+	// CausalPoint is one comparison point of a causal analysis.
+	CausalPoint = qed.PointResult
+	// Report is a rendered experiment result.
+	Report = experiments.Report
+	// SyntheticParams are the synthetic-OSP generator parameters.
+	SyntheticParams = osp.Params
+	// HealthWeights is the synthetic ground-truth health model.
+	HealthWeights = osp.HealthWeights
+)
+
+// MetricNames lists the 28 practice metrics (paper Table 1).
+var MetricNames = practices.MetricNames
+
+// DisplayName returns the paper-style name of a practice metric.
+func DisplayName(metric string) string { return practices.DisplayName(metric) }
+
+// MetricCategory returns "design" or "operational" for a practice metric.
+func MetricCategory(metric string) string { return practices.Category(metric) }
+
+// Config parameterizes a synthetic organization.
+type Config struct {
+	// Seed drives all generation; identical seeds reproduce identical
+	// organizations and analyses.
+	Seed uint64
+	// Networks is the number of networks (the paper's OSP has 850+).
+	Networks int
+	// Start and End bound the study window, inclusive.
+	Start, End Month
+	// MeanEventsPerMonth is the median of the per-network change-event
+	// rate distribution.
+	MeanEventsPerMonth float64
+	// Health overrides the ground-truth health model (zero value = use
+	// the calibrated defaults).
+	Health *HealthWeights
+}
+
+// DefaultConfig returns the paper-scale configuration: 850 networks over
+// the 17-month study window (Aug 2013 - Dec 2014).
+func DefaultConfig(seed uint64) Config {
+	p := osp.Default(seed)
+	return Config{
+		Seed:               p.Seed,
+		Networks:           p.Networks,
+		Start:              p.Start,
+		End:                p.End,
+		MeanEventsPerMonth: p.MeanEventsPerMonth,
+	}
+}
+
+// SmallConfig returns a laptop-scale configuration suitable for tests,
+// examples, and exploration.
+func SmallConfig(seed uint64) Config {
+	p := osp.Small(seed)
+	return Config{
+		Seed:               p.Seed,
+		Networks:           p.Networks,
+		Start:              p.Start,
+		End:                p.End,
+		MeanEventsPerMonth: p.MeanEventsPerMonth,
+	}
+}
+
+// params converts a Config to generator parameters.
+func (c Config) params() osp.Params {
+	p := osp.Params{
+		Seed:               c.Seed,
+		Networks:           c.Networks,
+		Start:              c.Start,
+		End:                c.End,
+		Health:             osp.DefaultHealthWeights(),
+		MeanEventsPerMonth: c.MeanEventsPerMonth,
+	}
+	if c.Health != nil {
+		p.Health = *c.Health
+	}
+	if p.Networks <= 0 {
+		p.Networks = 60
+	}
+	if p.MeanEventsPerMonth <= 0 {
+		p.MeanEventsPerMonth = 6
+	}
+	var zero Month
+	if p.Start == zero || p.End == zero || p.End.Before(p.Start) {
+		p.Start, p.End = months.StudyStart, months.StudyEnd
+	}
+	return p
+}
+
+// Framework is an MPA instance bound to one organization's data.
+type Framework struct {
+	env *experiments.Env
+}
+
+// NewSynthetic generates a synthetic organization and runs inference over
+// it. Identical configs produce identical frameworks.
+func NewSynthetic(cfg Config) (*Framework, error) {
+	env, err := experiments.NewEnv(cfg.params())
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{env: env}, nil
+}
+
+// New builds a framework over an organization's own data sources,
+// inferring practices for every month in [start, end].
+func New(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Month) (*Framework, error) {
+	if inv == nil || arch == nil || tickets == nil {
+		return nil, fmt.Errorf("mpa: nil data source")
+	}
+	if end.Before(start) {
+		return nil, fmt.Errorf("mpa: end month %v precedes start %v", end, start)
+	}
+	engine := practices.NewEngine(inv, arch)
+	window := months.Range(start, end)
+	analysis, err := engine.Analyze(window)
+	if err != nil {
+		return nil, err
+	}
+	env := &experiments.Env{
+		Params: osp.Params{
+			Start: start,
+			End:   end,
+		},
+		OSP: &osp.OSP{
+			Inventory: inv,
+			Archive:   arch,
+			Tickets:   tickets,
+		},
+		Analysis: analysis,
+		Data:     dataset.Build(analysis, tickets),
+	}
+	env.OSP.Params = env.Params
+	return &Framework{env: env}, nil
+}
+
+// Dataset returns the case matrix (one case per network-month).
+func (f *Framework) Dataset() *Dataset { return f.env.Data }
+
+// Inventory returns the organization's inventory.
+func (f *Framework) Inventory() *Inventory { return f.env.OSP.Inventory }
+
+// Tickets returns the trouble-ticket log.
+func (f *Framework) Tickets() *TicketLog { return f.env.OSP.Tickets }
+
+// Window returns the study months.
+func (f *Framework) Window() []Month { return f.env.Window() }
+
+// PracticeDependence is one practice's statistical dependence with
+// network health.
+type PracticeDependence struct {
+	Metric string
+	// MI is the average monthly mutual information with health, in bits.
+	MI float64
+}
+
+// RankPractices returns every practice ordered by decreasing statistical
+// dependence with network health (paper Table 3 generalized to all 28).
+func (f *Framework) RankPractices() []PracticeDependence {
+	entries := experiments.MIRanking(f.env)
+	out := make([]PracticeDependence, len(entries))
+	for i, e := range entries {
+		out[i] = PracticeDependence{Metric: e.Metric, MI: e.MI}
+	}
+	return out
+}
+
+// AnalyzeCausal runs the paper's matched-design quasi-experiment for one
+// treatment practice, controlling for the remaining 27 practice metrics.
+func (f *Framework) AnalyzeCausal(metric string) (*CausalResult, error) {
+	return qed.Run(f.env.Data, metric, qed.DefaultConfig(practices.MetricNames))
+}
+
+// Experiment runs one of the paper's tables/figures by ID (see
+// ExperimentIDs) and reports whether the ID was known.
+func (f *Framework) Experiment(id string) (Report, bool) {
+	return experiments.Run(f.env, id)
+}
+
+// ExperimentIDs lists the reproducible tables and figures in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// StudyWindow returns the paper's 17-month window (Aug 2013 - Dec 2014).
+func StudyWindow() (start, end Month) { return months.StudyStart, months.StudyEnd }
+
+// MonthOf returns the Month containing t.
+func MonthOf(t time.Time) Month { return months.Of(t) }

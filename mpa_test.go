@@ -1,0 +1,308 @@
+package mpa
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpa/internal/ticketing"
+)
+
+// testFramework is built once for the package's tests.
+var testFramework = mustFramework()
+
+func mustFramework() *Framework {
+	cfg := SmallConfig(3)
+	cfg.Networks = 80
+	f, err := NewSynthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestNewSyntheticDeterministic(t *testing.T) {
+	cfg := SmallConfig(8)
+	cfg.Networks = 10
+	a, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset().String() != b.Dataset().String() {
+		t.Fatal("datasets differ across identical configs")
+	}
+	ra := a.RankPractices()
+	rb := b.RankPractices()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatal("rankings differ across identical configs")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	// A zero-ish config gets sane defaults instead of panicking.
+	f, err := NewSynthetic(Config{Seed: 1, Networks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Window()) != 17 {
+		t.Errorf("default window = %d months, want the 17-month study", len(f.Window()))
+	}
+}
+
+func TestDefaultConfigPaperScale(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if cfg.Networks != 850 {
+		t.Errorf("networks = %d, want 850", cfg.Networks)
+	}
+	start, end := StudyWindow()
+	if cfg.Start != start || cfg.End != end {
+		t.Error("default window is not the study window")
+	}
+}
+
+func TestRankPracticesComplete(t *testing.T) {
+	ranked := testFramework.RankPractices()
+	if len(ranked) != len(MetricNames) {
+		t.Fatalf("ranked %d practices, want %d", len(ranked), len(MetricNames))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].MI > ranked[i-1].MI {
+			t.Fatal("ranking not sorted by MI")
+		}
+	}
+	for _, e := range ranked {
+		if e.MI < 0 {
+			t.Errorf("%s has negative MI %v", e.Metric, e.MI)
+		}
+	}
+}
+
+func TestAnalyzeCausalAPI(t *testing.T) {
+	res, err := testFramework.AnalyzeCausal("no_change_events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Treatment != "no_change_events" || len(res.Points) != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestTrainHealthModel(t *testing.T) {
+	for _, g := range []Granularity{TwoClass, FiveClass} {
+		model, err := testFramework.TrainHealthModel(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := model.Quality()
+		if q.Accuracy <= 0 || q.Accuracy > 1 {
+			t.Errorf("%d-class accuracy = %v", int(g), q.Accuracy)
+		}
+		if len(q.Precision) != int(g) || len(q.Recall) != int(g) {
+			t.Errorf("%d-class precision/recall lengths wrong", int(g))
+		}
+		// Predictions are valid class indexes.
+		for _, c := range testFramework.Dataset().Cases[:20] {
+			p := model.Predict(c.Metrics)
+			if p < 0 || p >= int(g) {
+				t.Fatalf("prediction %d out of range", p)
+			}
+			if model.PredictClassName(c.Metrics) == "" {
+				t.Fatal("empty class name")
+			}
+		}
+	}
+}
+
+func TestTwoClassBeatsBaseline(t *testing.T) {
+	model, err := testFramework.TrainHealthModel(TwoClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := model.Quality()
+	if q.Accuracy <= q.MajorityAccuracy {
+		t.Errorf("model %.3f <= majority %.3f", q.Accuracy, q.MajorityAccuracy)
+	}
+}
+
+func TestTrainHealthModelErrors(t *testing.T) {
+	if _, err := testFramework.TrainHealthModelOn(&Dataset{}, TwoClass, ModelOptions{}); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := testFramework.TrainHealthModelOn(testFramework.Dataset(), Granularity(3), ModelOptions{}); err == nil {
+		t.Error("bad granularity should error")
+	}
+}
+
+func TestPredictOnline(t *testing.T) {
+	preds, err := testFramework.PredictOnline(TwoClass, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(testFramework.Window())-2 {
+		t.Fatalf("predictions for %d months", len(preds))
+	}
+	for _, p := range preds {
+		if p.Accuracy < 0 || p.Accuracy > 1 || p.Cases <= 0 {
+			t.Errorf("bad prediction %+v", p)
+		}
+	}
+	if _, err := testFramework.PredictOnline(TwoClass, 0); err == nil {
+		t.Error("zero history should error")
+	}
+}
+
+func TestExperimentAPI(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	r, ok := testFramework.Experiment("figure9")
+	if !ok || r.Text == "" {
+		t.Fatal("figure9 experiment failed")
+	}
+	if _, ok := testFramework.Experiment("bogus"); ok {
+		t.Error("bogus experiment resolved")
+	}
+}
+
+func TestNewFromOwnData(t *testing.T) {
+	// An organization plugging in its own (here: borrowed synthetic)
+	// data sources.
+	src := testFramework
+	start, end := src.Window()[0], src.Window()[len(src.Window())-1]
+	f, err := New(src.Inventory(), src.env.OSP.Archive, src.Tickets(), start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dataset().Len() != src.Dataset().Len() {
+		t.Errorf("case counts differ: %d vs %d", f.Dataset().Len(), src.Dataset().Len())
+	}
+	// Same data => same ranking.
+	if f.RankPractices()[0] != src.RankPractices()[0] {
+		t.Error("top practice differs on identical data")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil, Month{}, Month{}); err == nil {
+		t.Error("nil sources should error")
+	}
+	inv := &Inventory{}
+	arch := testFramework.env.OSP.Archive
+	log := ticketing.NewLog()
+	end := Month{Year: 2014, Mon: time.January}
+	start := Month{Year: 2014, Mon: time.March}
+	if _, err := New(inv, arch, log, start, end); err == nil {
+		t.Error("inverted window should error")
+	}
+}
+
+func TestGranularityClassNames(t *testing.T) {
+	if len(TwoClass.ClassNames()) != 2 || len(FiveClass.ClassNames()) != 5 {
+		t.Error("class name lengths wrong")
+	}
+}
+
+func TestMetricHelpers(t *testing.T) {
+	if len(MetricNames) != 28 {
+		t.Fatalf("MetricNames = %d", len(MetricNames))
+	}
+	if DisplayName("no_devices") != "No. of devices" {
+		t.Error("DisplayName wrong")
+	}
+	if MetricCategory("no_devices") != "design" || MetricCategory("no_change_events") != "operational" {
+		t.Error("MetricCategory wrong")
+	}
+}
+
+func TestMonthOf(t *testing.T) {
+	m := MonthOf(time.Date(2014, 3, 15, 10, 0, 0, 0, time.UTC))
+	if m != (Month{Year: 2014, Mon: time.March}) {
+		t.Errorf("MonthOf = %v", m)
+	}
+}
+
+func TestSaveAndLoadOrganization(t *testing.T) {
+	cfg := SmallConfig(13)
+	cfg.Networks = 6
+	f, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := f.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	start, end := f.Window()[0], f.Window()[len(f.Window())-1]
+	loaded, err := LoadOrganization(dir, nil, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dataset().Len() != f.Dataset().Len() {
+		t.Fatalf("case counts differ: %d vs %d", loaded.Dataset().Len(), f.Dataset().Len())
+	}
+	// Ticket-derived labels must be identical; metrics nearly so (the
+	// on-disk format truncates snapshot times to whole seconds).
+	for i := range f.Dataset().Cases {
+		if loaded.Dataset().Cases[i].Tickets != f.Dataset().Cases[i].Tickets {
+			t.Fatalf("case %d ticket count differs", i)
+		}
+	}
+}
+
+func TestLoadOrganizationMissingDir(t *testing.T) {
+	start, end := StudyWindow()
+	if _, err := LoadOrganization("/no/such/dir", nil, start, end); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWhatIf(t *testing.T) {
+	model, err := testFramework.TrainHealthModel(TwoClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testFramework.Dataset().Cases[0]
+	// No adjustment: baseline == adjusted.
+	same := model.WhatIf(c.Metrics, nil)
+	if same.Baseline != same.Adjusted {
+		t.Errorf("no-op adjustment changed prediction: %+v", same)
+	}
+	if same.Improved() {
+		t.Error("no-op adjustment reported as improvement")
+	}
+	// The original metrics must not be mutated by the adjustment.
+	before := c.Metrics["no_change_events"]
+	model.WhatIf(c.Metrics, Metrics{"no_change_events": before * 10})
+	if c.Metrics["no_change_events"] != before {
+		t.Error("WhatIf mutated the input metrics")
+	}
+	// Class names line up with labels.
+	r := model.WhatIf(c.Metrics, Metrics{"no_change_events": 1e9})
+	if r.AdjustedName != TwoClass.ClassNames()[r.Adjusted] {
+		t.Errorf("class name mismatch: %+v", r)
+	}
+}
+
+func TestNetworkReport(t *testing.T) {
+	name := testFramework.Dataset().Networks()[0]
+	out, err := testFramework.NetworkReport(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, name) || !strings.Contains(out, "Org percentile") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "tickets") {
+		t.Error("report missing health history")
+	}
+	if _, err := testFramework.NetworkReport("nope"); err == nil {
+		t.Error("unknown network should error")
+	}
+}
