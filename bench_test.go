@@ -45,6 +45,7 @@ func benchEnvironment(b *testing.B) *experiments.Env {
 // benchExperiment runs one registered experiment b.N times.
 func benchExperiment(b *testing.B, id string) {
 	env := benchEnvironment(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, ok := experiments.Run(env, id)

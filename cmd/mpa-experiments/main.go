@@ -9,6 +9,10 @@
 // Scale selects the synthetic OSP size: small (60 networks, 6 months),
 // medium (240 networks, 10 months), or full (the paper's 850 networks
 // over 17 months; takes a few minutes and several GB of memory).
+//
+// The observability flags of cmd/mpa (-v, -vv, -cpuprofile, -memprofile,
+// -trace, -debug-addr) are available here too; progress lines go to the
+// structured logger, so pass -v to see them.
 package main
 
 import (
@@ -19,13 +23,20 @@ import (
 	"time"
 
 	"mpa"
+	"mpa/internal/obs"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	scale := flag.String("scale", "medium", "small | medium | full")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpa-experiments:", err)
+		os.Exit(1)
+	}
 
 	var cfg mpa.Config
 	switch *scale {
@@ -49,15 +60,17 @@ func main() {
 		ids = strings.Split(*only, ",")
 	}
 
-	fmt.Fprintf(os.Stderr, "generating OSP: %d networks, %s..%s (seed %d, scale %s)\n",
-		cfg.Networks, cfg.Start, cfg.End, cfg.Seed, *scale)
+	obs.Logger().Info("generating OSP",
+		"networks", cfg.Networks, "start", cfg.Start.String(), "end", cfg.End.String(),
+		"seed", cfg.Seed, "scale", *scale)
 	t0 := time.Now()
 	f, err := mpa.NewSynthetic(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpa-experiments:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "generation + inference took %v; %s\n\n", time.Since(t0).Round(time.Second), f.Dataset())
+	obs.Logger().Info("generation + inference complete",
+		"elapsed", time.Since(t0).Round(time.Second).String(), "dataset", f.Dataset().String())
 
 	for _, id := range ids {
 		t1 := time.Now()
@@ -69,6 +82,12 @@ func main() {
 		fmt.Println(r.Title)
 		fmt.Println(strings.Repeat("=", len(r.Title)))
 		fmt.Println(r.Text)
-		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", r.ID, time.Since(t1).Round(time.Millisecond))
+		obs.Logger().Info("experiment complete",
+			"id", r.ID, "elapsed", time.Since(t1).Round(time.Millisecond).String())
+	}
+
+	if err := obsFlags.Stop(f.WriteTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "mpa-experiments:", err)
+		os.Exit(1)
 	}
 }

@@ -17,6 +17,8 @@
 //	experiment    run one paper experiment by id (-id), or list ids
 //	export        write the organization's raw data to -dir (JSON/CSV/tree)
 //	report        per-network report card (-network)
+//	stats         run the main pipeline stages and print the per-stage
+//	              observability breakdown (time, allocs, counters)
 //
 // Flags:
 //
@@ -28,6 +30,14 @@
 //	-history N     training history in months for `online` (default 3)
 //	-dir PATH      output directory for `export`
 //	-network NAME  network for `report`
+//
+// Observability flags (shared with mpa-experiments):
+//
+//	-v, -vv            structured stage logs to stderr (info / debug)
+//	-cpuprofile FILE   CPU profile (runtime/pprof)
+//	-memprofile FILE   heap profile on exit
+//	-trace FILE        Chrome trace-event JSON of the pipeline span tree
+//	-debug-addr ADDR   serve /debug/pprof and /debug/vars over HTTP
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"strings"
 
 	"mpa"
+	"mpa/internal/obs"
 )
 
 func main() {
@@ -48,6 +59,8 @@ func main() {
 	history := flag.Int("history", 3, "training history (months) for online prediction")
 	dir := flag.String("dir", "mpa-export", "output directory for export")
 	network := flag.String("network", "", "network name for report")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -55,6 +68,17 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	if *monthsN < 1 {
+		fmt.Fprintf(os.Stderr, "mpa: -months must be >= 1 (got %d)\n", *monthsN)
+		os.Exit(2)
+	}
+	if *networks < 1 {
+		fmt.Fprintf(os.Stderr, "mpa: -networks must be >= 1 (got %d)\n", *networks)
+		os.Exit(2)
+	}
+	if err := obsFlags.Start(); err != nil {
+		fatal(err)
+	}
 
 	if cmd == "experiment" && *id == "" {
 		fmt.Println("available experiments:")
@@ -70,8 +94,8 @@ func main() {
 	cfg.Start = start
 	cfg.End = start.Add(*monthsN - 1)
 
-	fmt.Fprintf(os.Stderr, "generating %d networks over %d months (seed %d)...\n",
-		cfg.Networks, *monthsN, cfg.Seed)
+	obs.Logger().Info("generating organization",
+		"networks", cfg.Networks, "months", *monthsN, "seed", cfg.Seed)
 	f, err := mpa.NewSynthetic(cfg)
 	if err != nil {
 		fatal(err)
@@ -162,9 +186,24 @@ func main() {
 		fmt.Println(r.Title)
 		fmt.Println(strings.Repeat("=", len(r.Title)))
 		fmt.Println(r.Text)
+	case "stats":
+		// Exercise the analysis stages beyond generation/inference/dataset
+		// (which ran in NewSynthetic), then print the per-stage breakdown.
+		_ = f.RankPractices()
+		if _, err := f.AnalyzeCausal(*practice); err != nil {
+			fatal(err)
+		}
+		if _, err := f.TrainHealthModel(mpa.TwoClass); err != nil {
+			fatal(err)
+		}
+		fmt.Print(f.PipelineStats().Table())
 	default:
 		usage()
 		os.Exit(2)
+	}
+
+	if err := obsFlags.Stop(f.WriteTrace); err != nil {
+		fatal(err)
 	}
 }
 
@@ -179,7 +218,7 @@ func printExperiment(f *mpa.Framework, id string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mpa [flags] summary|rank|causal|predict|online|characterize|experiment|export|report")
+	fmt.Fprintln(os.Stderr, "usage: mpa [flags] summary|rank|causal|predict|online|characterize|experiment|export|report|stats")
 	flag.PrintDefaults()
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"mpa/internal/months"
+	"mpa/internal/obs"
 	"mpa/internal/practices"
 	"mpa/internal/stats"
 	"mpa/internal/ticketing"
@@ -69,6 +70,14 @@ type Dataset struct {
 
 // Build assembles the dataset from inference output and the ticket log.
 func Build(analysis map[string][]practices.MonthAnalysis, log *ticketing.Log) *Dataset {
+	return BuildObs(analysis, log, nil)
+}
+
+// BuildObs is Build under a "dataset.build" span recording case and
+// network counts. A nil parent skips the span but keeps the counters.
+func BuildObs(analysis map[string][]practices.MonthAnalysis, log *ticketing.Log, parent *obs.Span) *Dataset {
+	sp := parent.Start("dataset.build")
+	defer sp.End()
 	// Deterministic case order: by network name, then month.
 	names := make([]string, 0, len(analysis))
 	for name := range analysis {
@@ -86,6 +95,10 @@ func Build(analysis map[string][]practices.MonthAnalysis, log *ticketing.Log) *D
 			})
 		}
 	}
+	sp.Count("cases", float64(len(d.Cases)))
+	sp.Count("networks", float64(len(names)))
+	obs.GetCounter("dataset.cases").Add(int64(len(d.Cases)))
+	obs.Logger().Debug("dataset built", "cases", len(d.Cases), "networks", len(names))
 	return d
 }
 

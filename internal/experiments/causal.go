@@ -19,7 +19,9 @@ func causalConfig() qed.Config {
 
 // runCausal runs the matched-design analysis for one treatment.
 func runCausal(env *Env, treatment string) *qed.Result {
-	res, err := qed.Run(env.Data, treatment, causalConfig())
+	cfg := causalConfig()
+	cfg.Obs = env.Obs
+	res, err := qed.Run(env.Data, treatment, cfg)
 	if err != nil {
 		// The dataset is non-empty by construction; an error here is a
 		// programming bug, not a data condition.
@@ -197,6 +199,7 @@ func AblationMatching(env *Env) Report {
 	for _, method := range []qed.MatchMethod{qed.MatchPropensity, qed.MatchExact, qed.MatchMahalanobis} {
 		cfg := causalConfig()
 		cfg.Matching = method
+		cfg.Obs = env.Obs
 		res, err := qed.Run(env.Data, practices.MetricChangeEvents, cfg)
 		if err != nil {
 			panic(err)

@@ -7,6 +7,7 @@ import (
 
 	"mpa/internal/dataset"
 	"mpa/internal/months"
+	"mpa/internal/obs"
 	"mpa/internal/practices"
 	"mpa/internal/report"
 	"mpa/internal/stats"
@@ -141,12 +142,15 @@ func Figure6(env *Env) Report {
 // percentile-anchored bins over all cases, MI is computed per month across
 // networks, and the monthly values are averaged (paper §5.1).
 func MIRanking(env *Env) []MIEntry {
+	sp := env.Obs.Start("mi_ranking")
+	defer sp.End()
 	binned := env.Data.Bin(10)
 	byMonth := map[months.Month][]int{}
 	for i, c := range env.Data.Cases {
 		byMonth[c.Month] = append(byMonth[c.Month], i)
 	}
 	window := env.Window()
+	miValues := 0
 	entries := make([]MIEntry, 0, len(practices.MetricNames))
 	for _, metric := range practices.MetricNames {
 		var sum float64
@@ -165,6 +169,7 @@ func MIRanking(env *Env) []MIEntry {
 			sum += stats.MutualInformation(xs, ys)
 			n++
 		}
+		miValues += n
 		avg := 0.0
 		if n > 0 {
 			avg = sum / float64(n)
@@ -172,6 +177,9 @@ func MIRanking(env *Env) []MIEntry {
 		entries = append(entries, MIEntry{Metric: metric, MI: avg})
 	}
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].MI > entries[j].MI })
+	sp.Count("metrics", float64(len(entries)))
+	sp.Count("mi_values", float64(miValues))
+	obs.GetCounter("experiments.mi_values").Add(int64(miValues))
 	return entries
 }
 
@@ -211,6 +219,8 @@ func Table3(env *Env) Report {
 // Table4 ranks practice pairs by conditional mutual information given
 // health and lists the top 10 (paper Table 4).
 func Table4(env *Env) Report {
+	sp := env.Obs.Start("cmi_ranking")
+	defer sp.End()
 	binned := env.Data.Bin(10)
 	byMonth := map[months.Month][]int{}
 	for i, c := range env.Data.Cases {
@@ -249,6 +259,8 @@ func Table4(env *Env) Report {
 		}
 	}
 	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].cmi > pairs[j].cmi })
+	sp.Count("pairs", float64(len(pairs)))
+	obs.GetCounter("experiments.cmi_pairs").Add(int64(len(pairs)))
 
 	top10 := MIRanking(env)
 	topSet := map[string]bool{}

@@ -11,6 +11,7 @@ import (
 
 	"mpa/internal/dataset"
 	"mpa/internal/months"
+	"mpa/internal/obs"
 	"mpa/internal/osp"
 	"mpa/internal/practices"
 )
@@ -21,13 +22,21 @@ type Env struct {
 	OSP      *osp.OSP
 	Analysis map[string][]practices.MonthAnalysis
 	Data     *dataset.Dataset
+	// Obs is the root span of the pipeline's observability tree; the
+	// generation/inference/dataset stages hang off it, and every
+	// experiment run adds its own child. Nil on hand-assembled Envs —
+	// all instrumentation degrades to no-ops.
+	Obs *obs.Span
 }
 
 // NewEnv generates an OSP, runs practice inference over the full study
-// window, and assembles the case matrix.
+// window, and assembles the case matrix. The returned Env carries the
+// root observability span covering all three stages.
 func NewEnv(p osp.Params) (*Env, error) {
-	o := osp.Generate(p)
+	root := obs.NewRoot("pipeline")
+	o := osp.GenerateObs(p, root)
 	engine := practices.NewEngine(o.Inventory, o.Archive)
+	engine.SetObs(root)
 	analysis, err := engine.Analyze(p.Months())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: inference failed: %w", err)
@@ -36,7 +45,8 @@ func NewEnv(p osp.Params) (*Env, error) {
 		Params:   p,
 		OSP:      o,
 		Analysis: analysis,
-		Data:     dataset.Build(analysis, o.Tickets),
+		Data:     dataset.BuildObs(analysis, o.Tickets, root),
+		Obs:      root,
 	}, nil
 }
 
@@ -94,11 +104,17 @@ func Registry() []struct {
 	}
 }
 
-// Run executes the experiment with the given ID, or returns false.
+// Run executes the experiment with the given ID, or returns false. Each
+// run is recorded as an "experiment:<id>" span under the Env's root.
 func Run(env *Env, id string) (Report, bool) {
 	for _, entry := range Registry() {
 		if entry.ID == id {
-			return entry.Run(env), true
+			sp := env.Obs.Start("experiment:" + id)
+			r := entry.Run(env)
+			sp.End()
+			obs.GetCounter("experiments.runs").Add(1)
+			obs.Logger().Debug("experiment complete", "id", id, "elapsed", sp.Duration())
+			return r, true
 		}
 	}
 	return Report{}, false

@@ -1,6 +1,10 @@
 package ml
 
-import "math"
+import (
+	"math"
+
+	"mpa/internal/obs"
+)
 
 // BoostMode selects what AdaBoost returns as the final learner.
 type BoostMode int
@@ -21,6 +25,9 @@ type BoostConfig struct {
 	Rounds int // the paper uses 15
 	Tree   TreeConfig
 	Mode   BoostMode
+	// Obs, when set, records per-round boost_rounds and tree_nodes
+	// counters on the span.
+	Obs *obs.Span
 }
 
 // DefaultBoostConfig returns the paper's round count (15) with ensemble
@@ -82,6 +89,9 @@ func TrainAdaBoost(X [][]int, y []int, classes int, cfg BoostConfig) Classifier 
 	for round := 0; round < cfg.Rounds; round++ {
 		tree := TrainTree(X, y, w, classes, cfg.Tree)
 		lastTree = tree
+		cfg.Obs.Count("boost_rounds", 1)
+		cfg.Obs.Count("tree_nodes", float64(tree.NodeCount()))
+		obs.GetCounter("ml.boost_rounds").Add(1)
 		var err float64
 		miss := make([]bool, n)
 		for i := range y {

@@ -1,6 +1,9 @@
 package ml
 
-import "mpa/internal/rng"
+import (
+	"mpa/internal/obs"
+	"mpa/internal/rng"
+)
 
 // Trainer fits a classifier on a training fold. Skew remedies
 // (oversampling, boosting) must be applied inside the trainer so they see
@@ -35,6 +38,7 @@ func CrossValidate(X [][]int, y []int, classes, k int, train Trainer, r *rng.RNG
 			pred[i] = clf.Predict(teX[i])
 		}
 		evals = append(evals, Evaluate(pred, teY, classes))
+		obs.GetCounter("ml.cv_folds").Add(1)
 	}
 	return Merge(evals, classes)
 }

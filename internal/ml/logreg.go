@@ -1,6 +1,10 @@
 package ml
 
-import "math"
+import (
+	"math"
+
+	"mpa/internal/obs"
+)
 
 // LogRegConfig controls logistic-regression training.
 type LogRegConfig struct {
@@ -29,7 +33,12 @@ type LogReg struct {
 	weights []float64 // coefficients, bias last
 	mean    []float64 // feature standardization
 	std     []float64
+	iters   int // Newton steps actually taken
 }
+
+// Iterations returns the number of IRLS steps training performed before
+// converging or hitting the bound.
+func (m *LogReg) Iterations() int { return m.iters }
 
 // TrainLogReg fits the model by iteratively reweighted least squares
 // (Newton's method) on standardized features. IRLS converges in a handful
@@ -88,6 +97,7 @@ func TrainLogReg(X [][]float64, y []int, cfg LogRegConfig) *LogReg {
 	}
 	grad := make([]float64, dim)
 	for it := 0; it < cfg.Iterations; it++ {
+		m.iters++
 		for j := 0; j < dim; j++ {
 			grad[j] = 0
 			for k := 0; k < dim; k++ {
@@ -132,6 +142,7 @@ func TrainLogReg(X [][]float64, y []int, cfg LogRegConfig) *LogReg {
 			break
 		}
 	}
+	obs.GetCounter("ml.logreg_iterations").Add(int64(m.iters))
 	return m
 }
 

@@ -11,6 +11,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"mpa/internal/obs"
 )
 
 // Classifier predicts a class label from a binned feature vector.
@@ -79,6 +81,8 @@ func TrainTree(X [][]int, y []int, w []float64, classes int, cfg TreeConfig) *Tr
 	t := &Tree{classes: classes}
 	minWeight := cfg.MinLeafFrac * total
 	t.root = build(X, y, w, idx, used, classes, minWeight, cfg.MaxDepth, 0)
+	obs.GetCounter("ml.tree_nodes").Add(int64(t.NodeCount()))
+	obs.GetCounter("ml.trees_trained").Add(1)
 	return t
 }
 

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags is the shared observability CLI surface: verbosity, CPU and heap
+// profiles, Chrome trace output, and a debug HTTP server exposing
+// net/http/pprof and expvar. Commands embed it, Register it on their
+// FlagSet, call Start after parsing, and Stop on the way out.
+type Flags struct {
+	// Verbose raises logging to info; VeryVerbose to debug.
+	Verbose     bool
+	VeryVerbose bool
+	// CPUProfile and MemProfile name runtime/pprof output files.
+	CPUProfile string
+	MemProfile string
+	// TracePath names the Chrome trace-event JSON output file.
+	TracePath string
+	// DebugAddr, when non-empty, serves /debug/pprof and /debug/vars.
+	DebugAddr string
+
+	cpuFile *os.File
+}
+
+// Register installs the flags on fs.
+func (p *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&p.Verbose, "v", false, "log pipeline stages to stderr (info level)")
+	fs.BoolVar(&p.VeryVerbose, "vv", false, "log per-network/per-month detail to stderr (debug level)")
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&p.TracePath, "trace", "", "write Chrome trace-event JSON to `file` on exit")
+	fs.StringVar(&p.DebugAddr, "debug-addr", "", "serve /debug/pprof and /debug/vars on `addr` (e.g. localhost:6060)")
+}
+
+// Start applies the verbosity, begins CPU profiling, and launches the
+// debug server. It returns an error when a profile file cannot be created
+// or the debug address cannot be bound.
+func (p *Flags) Start() error {
+	switch {
+	case p.VeryVerbose:
+		SetVerbosity(2)
+	case p.Verbose:
+		SetVerbosity(1)
+	}
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.DebugAddr != "" {
+		ln, err := net.Listen("tcp", p.DebugAddr)
+		if err != nil {
+			return fmt.Errorf("obs: debug-addr: %w", err)
+		}
+		Logger().Info("debug server listening", "addr", ln.Addr().String())
+		go func() {
+			// The default mux carries net/http/pprof and expvar handlers.
+			_ = http.Serve(ln, nil)
+		}()
+	}
+	return nil
+}
+
+// Stop finishes CPU profiling and writes the heap profile and the span
+// trace, when requested. writeTrace renders the program's span tree (e.g.
+// Framework.WriteTrace) and may be nil when no tree exists.
+func (p *Flags) Stop(writeTrace func(io.Writer) error) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpuFile.Close())
+		p.cpuFile = nil
+	}
+	if p.MemProfile != "" {
+		f, err := os.Create(p.MemProfile)
+		if err != nil {
+			keep(fmt.Errorf("obs: memprofile: %w", err))
+		} else {
+			runtime.GC() // capture the retained heap, not transient garbage
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if p.TracePath != "" && writeTrace != nil {
+		f, err := os.Create(p.TracePath)
+		if err != nil {
+			keep(fmt.Errorf("obs: trace: %w", err))
+		} else {
+			keep(writeTrace(f))
+			keep(f.Close())
+		}
+	}
+	return firstErr
+}

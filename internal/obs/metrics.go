@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically named event count. It is safe for concurrent
+// use and costs one atomic add per Add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a named instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. A value v lands in the first
+// bucket whose upper bound satisfies v <= bound; values above the last
+// bound land in the overflow bucket. Observations are lock-free.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; len(counts) = len(bounds)+1
+	counts []atomic.Int64 // per-bucket counts, overflow last
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// It is unregistered; most callers want GetHistogram instead.
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	// SearchFloat64s finds the first bound >= v, which is the first bucket
+	// with v <= bound — except an exact hit needs no adjustment and v
+	// above every bound falls through to the overflow bucket at len.
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1; overflow last
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.total.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		snap.Counts[i] = h.counts[i].Load()
+	}
+	return snap
+}
+
+// registry is the process-wide named-metric store, published once through
+// expvar under the "mpa" variable.
+var registry = struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}{
+	counters: map[string]*Counter{},
+	gauges:   map[string]*Gauge{},
+	hists:    map[string]*Histogram{},
+}
+
+func init() {
+	expvar.Publish("mpa", expvar.Func(exportAll))
+}
+
+// GetCounter returns the process-wide counter with the given name,
+// creating it on first use. Names are conventionally "stage.event",
+// e.g. "inference.snapshots_parsed".
+func GetCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	c, ok := registry.counters[name]
+	if !ok {
+		c = &Counter{}
+		registry.counters[name] = c
+	}
+	return c
+}
+
+// GetGauge returns the process-wide gauge with the given name, creating
+// it on first use.
+func GetGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	g, ok := registry.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		registry.gauges[name] = g
+	}
+	return g
+}
+
+// GetHistogram returns the process-wide histogram with the given name,
+// creating it with the given bucket bounds on first use (later calls
+// reuse the existing buckets and ignore bounds).
+func GetHistogram(name string, bounds ...float64) *Histogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	h, ok := registry.hists[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		registry.hists[name] = h
+	}
+	return h
+}
+
+// exportAll renders the registry for expvar (`/debug/vars` → "mpa").
+func exportAll() any {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	counters := make(map[string]int64, len(registry.counters))
+	for name, c := range registry.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(registry.gauges))
+	for name, g := range registry.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(registry.hists))
+	for name, h := range registry.hists {
+		hists[name] = h.Snapshot()
+	}
+	return map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	}
+}

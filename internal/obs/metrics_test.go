@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrency hammers one registry counter from many
+// goroutines; run with -race.
+func TestCounterConcurrency(t *testing.T) {
+	c := GetCounter("test.concurrent")
+	before := c.Value() // registry metrics are process-global
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value() - before; got != workers*perWorker {
+		t.Fatalf("counter delta = %d, want %d", got, workers*perWorker)
+	}
+	if GetCounter("test.concurrent") != c {
+		t.Fatal("registry returned a different counter for the same name")
+	}
+}
+
+func TestNilMetricReceivers(t *testing.T) {
+	var c *Counter
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Fatal("nil counter non-zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge non-zero")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram non-zero")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := GetGauge("test.gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+// TestHistogramBucketEdges pins the bucket rule: a value lands in the
+// first bucket whose upper bound is >= the value; values above every
+// bound land in the overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	cases := []struct {
+		v    float64
+		want int // bucket index
+	}{
+		{0, 0},    // below the first bound
+		{1, 0},    // exactly on a bound belongs to that bucket
+		{1.01, 1}, // just above a bound spills to the next
+		{10, 1},
+		{99.999, 2},
+		{100, 2},
+		{100.5, 3}, // overflow
+		{1e9, 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := h.Snapshot()
+	wantCounts := []int64{2, 2, 2, 2}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], want, snap.Counts)
+		}
+	}
+	if snap.Count != 8 {
+		t.Fatalf("count = %d, want 8", snap.Count)
+	}
+	wantSum := 0.0
+	for _, c := range cases {
+		wantSum += c.v
+	}
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+	if len(snap.Bounds) != 3 || snap.Bounds[2] != 100 {
+		t.Fatalf("bounds = %v", snap.Bounds)
+	}
+}
+
+func TestHistogramConcurrency(t *testing.T) {
+	h := GetHistogram("test.hist", 1, 2, 3)
+	before := h.Snapshot().Count
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count - before; got != 4000 {
+		t.Fatalf("count delta = %d, want 4000", got)
+	}
+}
+
+// TestExpvarExport checks the registry is visible through expvar as JSON.
+func TestExpvarExport(t *testing.T) {
+	before := GetCounter("test.export").Value()
+	GetCounter("test.export").Add(7)
+	v := expvar.Get("mpa")
+	if v == nil {
+		t.Fatal("expvar \"mpa\" not published")
+	}
+	var parsed struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(v.String()), &parsed); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if got := parsed.Counters["test.export"] - before; got != 7 {
+		t.Fatalf("exported counter delta = %d, want 7", got)
+	}
+}

@@ -1,0 +1,67 @@
+// Package obs is MPA's observability substrate: hierarchical spans with
+// wall-time and allocation deltas, named counters/gauges/histograms
+// published through expvar, and a structured logger built on log/slog.
+//
+// The package is stdlib-only and always on: instrumentation sites record
+// unconditionally, but every primitive is engineered to cost a few
+// atomic operations (or nothing at all — all Span methods are no-ops on a
+// nil receiver), so the pipeline's hot paths pay effectively zero when no
+// span tree is wired in.
+//
+// Three consumers sit on top:
+//
+//   - mpa.Framework.PipelineStats renders the span tree as a per-stage
+//     table (duration, allocation delta, stage counters);
+//   - WriteChromeTrace exports the tree as Chrome trace-event JSON for
+//     about:tracing / Perfetto;
+//   - expvar exposes the process-wide counter registry under the "mpa"
+//     variable for `-debug-addr` long-run monitoring.
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// level gates the default logger; the zero configuration is quiet
+// (warnings and errors only).
+var level = func() *slog.LevelVar {
+	v := new(slog.LevelVar)
+	v.Set(slog.LevelWarn)
+	return v
+}()
+
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	defaultLogger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+}
+
+// Logger returns the package-level structured logger. Pipeline stages log
+// through it so verbosity is controlled in one place (`-v` / `-vv` on the
+// command lines).
+func Logger() *slog.Logger { return defaultLogger.Load() }
+
+// SetLogger replaces the package-level logger (tests, or embedders that
+// already have a slog setup). The verbosity gate of SetVerbosity only
+// applies to the default logger.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}
+
+// SetVerbosity maps a command-line verbosity count onto the default
+// logger's level: 0 = warnings only (quiet), 1 = info (`-v`),
+// 2+ = debug (`-vv`).
+func SetVerbosity(v int) {
+	switch {
+	case v <= 0:
+		level.Set(slog.LevelWarn)
+	case v == 1:
+		level.Set(slog.LevelInfo)
+	default:
+		level.Set(slog.LevelDebug)
+	}
+}

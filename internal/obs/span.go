@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of the pipeline. Spans form a tree: a stage
+// span ("inference") holds per-network children, which may hold per-month
+// children. Each span records its wall-clock duration, the bytes
+// allocated while it was open, and a set of named counters.
+//
+// Every method is safe on a nil receiver and does nothing, so
+// instrumented code never guards call sites: un-wired pipelines (library
+// use, benchmarks) pass nil spans and pay only the nil check.
+//
+// Spans are safe for concurrent use: children may be started and counters
+// added from multiple goroutines.
+type Span struct {
+	name string
+
+	mu         sync.Mutex
+	start      time.Time
+	startAlloc uint64
+	dur        time.Duration
+	alloc      uint64
+	ended      bool
+	counters   map[string]float64
+	children   []*Span
+}
+
+// NewRoot starts a root span. The root is the handle the rest of the tree
+// grows from; it is usually left open for the lifetime of a Framework.
+func NewRoot(name string) *Span {
+	return &Span{
+		name:       name,
+		start:      time.Now(),
+		startAlloc: heapAllocBytes(),
+	}
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start opens a child span. On a nil receiver it returns nil, which keeps
+// the whole downstream instrumentation free.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{
+		name:       name,
+		start:      time.Now(),
+		startAlloc: heapAllocBytes(),
+	}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End closes the span, fixing its duration and allocation delta. Ending
+// twice keeps the first measurement.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	if a := heapAllocBytes(); a > s.startAlloc {
+		s.alloc = a - s.startAlloc
+	}
+}
+
+// Duration returns the span's wall-clock duration; for a still-open span
+// it is the time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// AllocBytes returns the bytes allocated while the span was open (0 until
+// End for open spans — allocation deltas are sampled once, at End, to
+// keep open-span reads cheap).
+func (s *Span) AllocBytes() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alloc
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// Count adds delta to the span's named counter, creating it at zero.
+func (s *Span) Count(name string, delta float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]float64, 4)
+	}
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// Counter returns the current value of one named counter.
+func (s *Span) Counter(name string) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Counters returns a copy of the span's counters.
+func (s *Span) Counters() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// CounterNames returns the span's counter names in sorted order.
+func (s *Span) CounterNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Children returns a copy of the span's direct children, in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// StartTime returns when the span was opened.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// heapAllocBytes reads the runtime's cumulative heap-allocation total.
+// runtime/metrics reads do not stop the world, so sampling at span
+// boundaries stays cheap enough for per-network and per-month spans.
+func heapAllocBytes() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome trace-event ("X" = complete event). Times are
+// microseconds relative to the trace origin, per the trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of a trace, which both
+// chrome://tracing and Perfetto load.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the span trees as Chrome trace-event JSON.
+// Every span becomes a complete ("X") event; nesting is conveyed by time
+// containment, which the viewers render as stacked slices. Span counters
+// and the allocation delta appear in the event's args (visible when a
+// slice is selected).
+func WriteChromeTrace(w io.Writer, roots ...*Span) error {
+	var origin int64
+	seen := false
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if t := r.StartTime().UnixMicro(); !seen || t < origin {
+			origin, seen = t, true
+		}
+	}
+	if !seen {
+		return fmt.Errorf("obs: no spans to trace")
+	}
+	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, r := range roots {
+		appendEvents(&tf.TraceEvents, r, origin)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// appendEvents adds the span and its subtree depth-first in start order.
+func appendEvents(out *[]traceEvent, s *Span, origin int64) {
+	if s == nil {
+		return
+	}
+	ev := traceEvent{
+		Name:  s.Name(),
+		Phase: "X",
+		Ts:    s.StartTime().UnixMicro() - origin,
+		Dur:   s.Duration().Microseconds(),
+		Pid:   1,
+		Tid:   1,
+	}
+	counters := s.Counters()
+	if alloc := s.AllocBytes(); alloc > 0 || len(counters) > 0 {
+		args := make(map[string]any, len(counters)+1)
+		for k, v := range counters {
+			args[k] = v
+		}
+		args["alloc_bytes"] = alloc
+		ev.Args = args
+	}
+	*out = append(*out, ev)
+	for _, c := range s.Children() {
+		appendEvents(out, c, origin)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedSpan builds an ended span with fully determined fields, bypassing
+// the clock so the exporter's output is byte-stable.
+func fixedSpan(name string, startMicro, durMicro int64, alloc uint64, counters map[string]float64, children ...*Span) *Span {
+	return &Span{
+		name:     name,
+		start:    time.UnixMicro(startMicro).UTC(),
+		dur:      time.Duration(durMicro) * time.Microsecond,
+		alloc:    alloc,
+		ended:    true,
+		counters: counters,
+		children: children,
+	}
+}
+
+func goldenTree() *Span {
+	return fixedSpan("pipeline", 1_000_000, 500_000, 2048, map[string]float64{"networks": 2},
+		fixedSpan("generate", 1_000_100, 200_000, 1024, map[string]float64{"snapshots": 12},
+			fixedSpan("net-0", 1_000_200, 100_000, 0, nil),
+		),
+		fixedSpan("inference", 1_300_000, 150_000, 0, map[string]float64{"changes": 3}),
+	)
+}
+
+// TestWriteChromeTraceGolden locks the exporter's exact output. The
+// format is consumed by external viewers (about:tracing, Perfetto), so
+// accidental shape changes must be loud. Regenerate with -update.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTree()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output diverged from golden.\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeTraceShape validates the structural contract the viewers
+// rely on: a traceEvents array of complete events with the required keys
+// and child events nested inside their parents' time ranges.
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTree()); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Ts    *int64         `json:"ts"`
+			Dur   *int64         `json:"dur"`
+			Pid   *int           `json:"pid"`
+			Tid   *int           `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(tf.TraceEvents))
+	}
+	var root, child *int64
+	for _, ev := range tf.TraceEvents {
+		if ev.Phase != "X" {
+			t.Fatalf("event %q phase %q, want X", ev.Name, ev.Phase)
+		}
+		if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %q missing required keys", ev.Name)
+		}
+		switch ev.Name {
+		case "pipeline":
+			root = ev.Dur
+		case "net-0":
+			child = ev.Ts
+		}
+	}
+	if root == nil || child == nil {
+		t.Fatal("expected spans missing from trace")
+	}
+	if *child >= *root {
+		t.Fatalf("child ts %d outside root duration %d", *child, *root)
+	}
+}
+
+func TestWriteChromeTraceNoSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mpa/internal/months"
 	"mpa/internal/netmodel"
 	"mpa/internal/nms"
+	"mpa/internal/obs"
 	"mpa/internal/rng"
 	"mpa/internal/ticketing"
 )
@@ -56,7 +57,15 @@ func dialectFor(v netmodel.Vendor) confmodel.Dialect {
 
 // Generate synthesizes an OSP from the given parameters. The same
 // parameters produce an identical OSP.
-func Generate(p Params) *OSP {
+func Generate(p Params) *OSP { return GenerateObs(p, nil) }
+
+// GenerateObs is Generate with observability: generation runs under a
+// "generate" span (a child per network) and maintains the osp.* counter
+// family. A nil parent skips the span tree but keeps the counters.
+func GenerateObs(p Params, parent *obs.Span) *OSP {
+	sp := parent.Start("generate")
+	defer sp.End()
+	log := obs.Logger()
 	root := rng.New(p.Seed)
 	out := &OSP{
 		Params:    p,
@@ -71,12 +80,14 @@ func Generate(p Params) *OSP {
 	}
 
 	window := p.Months()
+	prevSnaps, prevTickets := 0, 0
 	for idx := 0; idx < p.Networks; idx++ {
 		r := root.Fork(uint64(idx) + 1)
 		// Tickets draw from a private stream so that health-model changes
 		// never perturb the generated topology or change history.
 		ticketRNG := r.Fork(0x71c7)
 		pr := newProfile(idx, p, r)
+		nsp := sp.Start(pr.name)
 		st := buildNetwork(pr, r)
 		out.Inventory.Networks = append(out.Inventory.Networks, st.network)
 		out.Traits[pr.name] = Traits{
@@ -97,13 +108,38 @@ func Generate(p Params) *OSP {
 		}
 
 		truth := map[months.Month]MonthTruth{}
+		events := 0
 		for _, m := range window {
 			mt := simulateMonth(out, st, m, lastSnap)
 			truth[m] = mt
+			events += mt.Events
 			emitTickets(out, st, m, mt, ticketRNG)
 		}
 		out.Truth[pr.name] = truth
+
+		snaps, tickets := out.Archive.SnapshotCount(), out.Tickets.Len()
+		nsp.Count("devices", float64(len(st.devices)))
+		nsp.Count("snapshots", float64(snaps-prevSnaps))
+		nsp.Count("tickets", float64(tickets-prevTickets))
+		nsp.Count("events", float64(events))
+		nsp.End()
+		sp.Count("networks", 1)
+		sp.Count("devices", float64(len(st.devices)))
+		sp.Count("snapshots", float64(snaps-prevSnaps))
+		sp.Count("tickets", float64(tickets-prevTickets))
+		sp.Count("events", float64(events))
+		log.Debug("network generated",
+			"network", pr.name, "devices", len(st.devices),
+			"snapshots", snaps-prevSnaps, "tickets", tickets-prevTickets,
+			"events", events)
+		prevSnaps, prevTickets = snaps, tickets
 	}
+	obs.GetCounter("osp.networks").Add(int64(p.Networks))
+	obs.GetCounter("osp.snapshots").Add(int64(prevSnaps))
+	obs.GetCounter("osp.tickets").Add(int64(prevTickets))
+	log.Info("osp generated",
+		"networks", p.Networks, "months", len(window),
+		"snapshots", prevSnaps, "tickets", prevTickets, "seed", p.Seed)
 	return out
 }
 

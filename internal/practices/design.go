@@ -122,8 +122,9 @@ func jointEntropy(nw *netmodel.Network, symbol func(*netmodel.Device) string) fl
 }
 
 // operationalMetrics fills the operational-practice metrics (O1-O4) from
-// the month's inferred changes.
-func (e *Engine) operationalMetrics(m Metrics, nw *netmodel.Network, changes []ChangeDetail) {
+// the month's inferred changes and returns how many change events the
+// grouping produced.
+func (e *Engine) operationalMetrics(m Metrics, nw *netmodel.Network, changes []ChangeDetail) int {
 	m[MetricConfigChanges] = float64(len(changes))
 	devs := map[string]bool{}
 	for _, c := range changes {
@@ -152,7 +153,7 @@ func (e *Engine) operationalMetrics(m Metrics, nw *netmodel.Network, changes []C
 	m[MetricFracEventsRtr] = 0
 	m[MetricFracEventsMbox] = 0
 	if len(evts) == 0 {
-		return
+		return 0
 	}
 	var totalDevs, auto, iface, acl, rtr, mbox int
 	for _, ev := range evts {
@@ -191,6 +192,7 @@ func (e *Engine) operationalMetrics(m Metrics, nw *netmodel.Network, changes []C
 	m[MetricFracEventsACL] = float64(acl) / n
 	m[MetricFracEventsRtr] = float64(rtr) / n
 	m[MetricFracEventsMbox] = float64(mbox) / n
+	return len(evts)
 }
 
 // GroupChanges groups inferred changes into change events with the given

@@ -12,7 +12,14 @@ import (
 	"mpa/internal/months"
 	"mpa/internal/netmodel"
 	"mpa/internal/nms"
+	"mpa/internal/obs"
 )
+
+// monthHist records per-network-month inference latency in milliseconds;
+// the buckets span sub-millisecond small networks to multi-second
+// paper-scale ones.
+var monthHist = obs.GetHistogram("inference.month_ms",
+	0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
 
 // ChangeDetail is one inferred configuration change with the attributes
 // the characterization figures and event metrics need.
@@ -67,6 +74,8 @@ type Engine struct {
 
 	cisco confmodel.Dialect
 	junos confmodel.Dialect
+
+	obs *obs.Span // parent span for analysis runs; nil = untraced
 }
 
 // NewEngine returns an inference engine over the given data sources using
@@ -84,6 +93,10 @@ func NewEngine(inv *netmodel.Inventory, arch *nms.Archive) *Engine {
 // SetDelta overrides the change-event grouping threshold (Figure 3's
 // sensitivity sweep). Non-positive disables grouping.
 func (e *Engine) SetDelta(d time.Duration) { e.delta = d }
+
+// SetObs attaches a parent span; subsequent Analyze runs record an
+// "inference" span with per-network (and per-month) children under it.
+func (e *Engine) SetObs(sp *obs.Span) { e.obs = sp }
 
 // parse parses a snapshot's text with the device's vendor dialect.
 func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config, error) {
@@ -103,10 +116,17 @@ func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config
 // parsing every snapshot a single time, and evaluates design metrics from
 // the live end-of-month configuration state.
 func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnalysis, error) {
+	return e.analyzeNetwork(name, window, e.obs)
+}
+
+// analyzeNetwork is AnalyzeNetwork under an explicit parent span.
+func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.Span) ([]MonthAnalysis, error) {
 	nw := e.inv.Network(name)
 	if nw == nil {
 		return nil, fmt.Errorf("practices: unknown network %q", name)
 	}
+	nsp := parent.Start(name)
+	defer nsp.End()
 
 	// Per-device cursor over the snapshot history.
 	type cursor struct {
@@ -125,8 +145,11 @@ func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnal
 		mgmtOwner[dev.MgmtIP] = dev.Name
 	}
 
+	var snapsParsed, diffsComputed, changesFound, eventsGrouped int
 	out := make([]MonthAnalysis, 0, len(window))
 	for _, m := range window {
+		msp := nsp.Start(m.String())
+		monthStart := time.Now()
 		end := m.End()
 		var changes []ChangeDetail
 		for _, cu := range cursors {
@@ -134,7 +157,11 @@ func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnal
 				snap := cu.hist[cu.pos]
 				cu.pos++
 				cfg, err := e.parse(cu.dev, snap)
+				snapsParsed++
 				if err != nil {
+					obs.GetCounter("inference.parse_failures").Add(1)
+					nsp.Count("parse_failures", 1)
+					msp.End()
 					return nil, err
 				}
 				if cu.state == nil {
@@ -142,6 +169,7 @@ func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnal
 					continue
 				}
 				diff := confdiff.Diff(cu.state, cfg)
+				diffsComputed++
 				cu.state = cfg
 				if len(diff) == 0 {
 					continue // identical snapshot: no configuration change
@@ -174,21 +202,49 @@ func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnal
 
 		metrics := Metrics{}
 		e.designMetrics(metrics, nw, configs, mgmtOwner)
-		e.operationalMetrics(metrics, nw, changes)
+		nEvents := e.operationalMetrics(metrics, nw, changes)
 		out = append(out, MonthAnalysis{Network: name, Month: m, Metrics: metrics, Changes: changes})
+
+		changesFound += len(changes)
+		eventsGrouped += nEvents
+		msp.Count("changes", float64(len(changes)))
+		msp.Count("events", float64(nEvents))
+		msp.End()
+		monthHist.Observe(float64(time.Since(monthStart).Microseconds()) / 1000)
 	}
+	nsp.Count("snapshots_parsed", float64(snapsParsed))
+	nsp.Count("diffs", float64(diffsComputed))
+	nsp.Count("changes", float64(changesFound))
+	nsp.Count("events", float64(eventsGrouped))
+	// Roll the totals up to the stage span ("inference" under Analyze).
+	parent.Count("snapshots_parsed", float64(snapsParsed))
+	parent.Count("diffs", float64(diffsComputed))
+	parent.Count("changes", float64(changesFound))
+	parent.Count("events", float64(eventsGrouped))
+	obs.GetCounter("inference.snapshots_parsed").Add(int64(snapsParsed))
+	obs.GetCounter("inference.diffs").Add(int64(diffsComputed))
+	obs.GetCounter("inference.changes").Add(int64(changesFound))
+	obs.GetCounter("inference.events_grouped").Add(int64(eventsGrouped))
 	return out, nil
 }
 
-// Analyze runs AnalyzeNetwork for every network in the inventory.
+// Analyze runs AnalyzeNetwork for every network in the inventory, under
+// one "inference" span when a parent was attached with SetObs.
 func (e *Engine) Analyze(window []months.Month) (map[string][]MonthAnalysis, error) {
+	sp := e.obs.Start("inference")
+	defer sp.End()
+	start := time.Now()
 	out := make(map[string][]MonthAnalysis, len(e.inv.Networks))
 	for _, nw := range e.inv.Networks {
-		ma, err := e.AnalyzeNetwork(nw.Name, window)
+		ma, err := e.analyzeNetwork(nw.Name, window, sp)
 		if err != nil {
 			return nil, err
 		}
 		out[nw.Name] = ma
 	}
+	sp.Count("networks", float64(len(out)))
+	obs.Logger().Info("inference complete",
+		"networks", len(out), "months", len(window),
+		"elapsed", time.Since(start).Round(time.Millisecond))
 	return out, nil
 }

@@ -20,6 +20,7 @@ import (
 	"mpa/internal/dataset"
 	"mpa/internal/hypothesis"
 	"mpa/internal/ml"
+	"mpa/internal/obs"
 	"mpa/internal/stats"
 )
 
@@ -61,6 +62,10 @@ type Config struct {
 	// scores (the paper's choice); exact and Mahalanobis matching are
 	// provided as the baselines the paper rejects.
 	Matching MatchMethod
+	// Obs, when set, is the parent span under which Run records a
+	// "causal" span with per-comparison-point children and matching
+	// counters (pairs, fit iterations, balance rejections).
+	Obs *obs.Span
 }
 
 // MatchMethod selects the pairing method.
@@ -196,17 +201,35 @@ func Run(d *dataset.Dataset, treatment string, cfg Config) (*Result, error) {
 		}
 	}
 
+	sp := cfg.Obs.Start("causal")
+	defer sp.End()
 	res := &Result{Treatment: treatment}
 	for b := 0; b+1 < cfg.Bins; b++ {
-		point := comparePoint(byBin[b], byBin[b+1], conf, confNames, outcome, cfg)
-		point.Comparison = fmt.Sprintf("%d:%d", b+1, b+2)
+		comparison := fmt.Sprintf("%d:%d", b+1, b+2)
+		psp := sp.Start(comparison)
+		point := comparePoint(byBin[b], byBin[b+1], conf, confNames, outcome, cfg, psp)
+		point.Comparison = comparison
+		psp.End()
 		res.Points = append(res.Points, point)
+
+		sp.Count("points", 1)
+		sp.Count("pairs", float64(point.Pairs))
+		if point.Skipped {
+			sp.Count("points_skipped", 1)
+		} else if !point.Balanced {
+			sp.Count("balance_rejections", 1)
+			obs.GetCounter("qed.balance_rejections").Add(1)
+		}
+		sp.Count("fit_iterations", psp.Counter("fit_iterations"))
+		obs.GetCounter("qed.pairs_matched").Add(int64(point.Pairs))
 	}
+	obs.Logger().Debug("causal analysis complete", "treatment", treatment,
+		"points", len(res.Points), "pairs", int(sp.Counter("pairs")))
 	return res, nil
 }
 
 // comparePoint runs one untreated-vs-treated comparison.
-func comparePoint(untreated, treated []int, conf [][]float64, confNames []string, outcome []float64, cfg Config) PointResult {
+func comparePoint(untreated, treated []int, conf [][]float64, confNames []string, outcome []float64, cfg Config, sp *obs.Span) PointResult {
 	pr := PointResult{
 		UntreatedCases: len(untreated),
 		TreatedCases:   len(treated),
@@ -224,8 +247,9 @@ func comparePoint(untreated, treated []int, conf [][]float64, confNames []string
 	case MatchMahalanobis:
 		pairs = matchMahalanobis(untreated, treated, conf)
 	default:
-		pairs = matchPropensity(untreated, treated, conf, cfg.LogReg, cfg.MaxReuse, cfg.Caliper)
+		pairs = matchPropensity(untreated, treated, conf, cfg.LogReg, cfg.MaxReuse, cfg.Caliper, sp)
 	}
+	sp.Count("pairs", float64(len(pairs)))
 	pr.Pairs = len(pairs)
 	if len(pairs) == 0 {
 		pr.Skipped = true
@@ -315,7 +339,7 @@ func propensityBalance(pairs []pair) BalanceStat {
 // score; treated cases outside the untreated score range (and vice versa)
 // are discarded (common support); each remaining treated case pairs with
 // the untreated case of nearest score, with replacement.
-func matchPropensity(untreated, treated []int, conf [][]float64, lrCfg ml.LogRegConfig, maxReuse int, caliperSD float64) []pair {
+func matchPropensity(untreated, treated []int, conf [][]float64, lrCfg ml.LogRegConfig, maxReuse int, caliperSD float64, sp *obs.Span) []pair {
 	// Train on the union: label 1 = treated.
 	var X [][]float64
 	var y []int
@@ -328,6 +352,8 @@ func matchPropensity(untreated, treated []int, conf [][]float64, lrCfg ml.LogReg
 		y = append(y, 1)
 	}
 	model := ml.TrainLogReg(X, y, lrCfg)
+	sp.Count("fit_iterations", float64(model.Iterations()))
+	obs.GetCounter("qed.fit_iterations").Add(int64(model.Iterations()))
 	scoreOf := func(i int) float64 { return model.Prob(conf[i]) }
 
 	type scored struct {

@@ -35,6 +35,7 @@ import (
 	"mpa/internal/months"
 	"mpa/internal/netmodel"
 	"mpa/internal/nms"
+	"mpa/internal/obs"
 	"mpa/internal/osp"
 	"mpa/internal/practices"
 	"mpa/internal/qed"
@@ -181,7 +182,9 @@ func New(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Month) (*
 	if end.Before(start) {
 		return nil, fmt.Errorf("mpa: end month %v precedes start %v", end, start)
 	}
+	root := obs.NewRoot("pipeline")
 	engine := practices.NewEngine(inv, arch)
+	engine.SetObs(root)
 	window := months.Range(start, end)
 	analysis, err := engine.Analyze(window)
 	if err != nil {
@@ -198,7 +201,8 @@ func New(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Month) (*
 			Tickets:   tickets,
 		},
 		Analysis: analysis,
-		Data:     dataset.Build(analysis, tickets),
+		Data:     dataset.BuildObs(analysis, tickets, root),
+		Obs:      root,
 	}
 	env.OSP.Params = env.Params
 	return &Framework{env: env}, nil
@@ -238,7 +242,9 @@ func (f *Framework) RankPractices() []PracticeDependence {
 // AnalyzeCausal runs the paper's matched-design quasi-experiment for one
 // treatment practice, controlling for the remaining 27 practice metrics.
 func (f *Framework) AnalyzeCausal(metric string) (*CausalResult, error) {
-	return qed.Run(f.env.Data, metric, qed.DefaultConfig(practices.MetricNames))
+	cfg := qed.DefaultConfig(practices.MetricNames)
+	cfg.Obs = f.env.Obs
+	return qed.Run(f.env.Data, metric, cfg)
 }
 
 // Experiment runs one of the paper's tables/figures by ID (see

@@ -1,0 +1,145 @@
+package mpa
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mpa/internal/obs"
+	"mpa/internal/report"
+)
+
+// StageStat aggregates one pipeline stage's observability data. Stages
+// that ran more than once (e.g. repeated MI rankings or model trainings)
+// are merged: durations, allocations, and counters sum across calls.
+type StageStat struct {
+	// Name is the span name, e.g. "generate" or "mi_ranking".
+	Name string
+	// Calls is how many spans with this name ran directly under the root.
+	Calls int
+	// Duration is the total wall-clock time across calls.
+	Duration time.Duration
+	// AllocBytes is the total heap allocation across calls.
+	AllocBytes uint64
+	// Counters holds the stage's counters summed across calls.
+	Counters map[string]float64
+}
+
+// PipelineStats is the per-stage breakdown of everything the framework has
+// run so far.
+type PipelineStats struct {
+	// Total is the root span's age: time since the framework's pipeline
+	// began.
+	Total time.Duration
+	// Stages lists the stages in first-execution order.
+	Stages []StageStat
+}
+
+// PipelineStats summarizes the framework's observability tree: one row
+// per pipeline stage with total time, allocation, and counters. Stages
+// accrue as the framework runs, so call it after the work of interest.
+func (f *Framework) PipelineStats() PipelineStats {
+	ps := PipelineStats{}
+	root := f.env.Obs
+	if root == nil {
+		return ps
+	}
+	ps.Total = root.Duration()
+	index := map[string]int{}
+	for _, c := range root.Children() {
+		i, ok := index[c.Name()]
+		if !ok {
+			i = len(ps.Stages)
+			index[c.Name()] = i
+			ps.Stages = append(ps.Stages, StageStat{
+				Name:     c.Name(),
+				Counters: map[string]float64{},
+			})
+		}
+		st := &ps.Stages[i]
+		st.Calls++
+		st.Duration += c.Duration()
+		st.AllocBytes += c.AllocBytes()
+		for k, v := range c.Counters() {
+			st.Counters[k] += v
+		}
+	}
+	return ps
+}
+
+// Table renders the stats as a fixed-width table: one row per stage with
+// call count, total time, total allocation, and the stage's counters.
+func (ps PipelineStats) Table() string {
+	tb := report.NewTable("Stage", "Calls", "Time", "Alloc", "Counters")
+	for _, st := range ps.Stages {
+		tb.AddRow(st.Name, fmt.Sprint(st.Calls),
+			formatDuration(st.Duration), formatBytes(st.AllocBytes),
+			formatCounters(st.Counters))
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nPipeline age: %s across %d stage rows.\n",
+		formatDuration(ps.Total), len(ps.Stages))
+	return b.String()
+}
+
+// WriteTrace writes the framework's span tree as Chrome trace-event JSON,
+// loadable in about:tracing or Perfetto. Open spans (the root) are
+// rendered with their elapsed-so-far duration.
+func (f *Framework) WriteTrace(w io.Writer) error {
+	if f.env.Obs == nil {
+		return fmt.Errorf("mpa: framework has no observability tree")
+	}
+	return obs.WriteChromeTrace(w, f.env.Obs)
+}
+
+// formatDuration rounds to a human scale: microseconds under 1ms,
+// otherwise milliseconds under 10s, otherwise 10ms granularity.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < 10*time.Second:
+		return d.Round(100 * time.Microsecond).String()
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// formatCounters renders counters as "name=value" pairs in sorted order.
+func formatCounters(c map[string]float64) string {
+	if len(c) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, k := range names {
+		v := c[k]
+		if v == float64(int64(v)) {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, int64(v)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%.2f", k, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}

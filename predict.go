@@ -5,6 +5,7 @@ import (
 
 	"mpa/internal/dataset"
 	"mpa/internal/ml"
+	"mpa/internal/obs"
 	"mpa/internal/practices"
 	"mpa/internal/rng"
 	"mpa/internal/stats"
@@ -111,6 +112,10 @@ func (f *Framework) TrainHealthModelOn(d *Dataset, g Granularity, opts ModelOpti
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	sp := f.env.Obs.Start("train_model")
+	defer sp.End()
+	sp.Count("cases", float64(d.Len()))
+	sp.Count("cv_folds", float64(opts.Folds))
 	binned := d.Bin(5)
 	X := binned.FeatureMatrix()
 	y := d.Labels2()
@@ -128,15 +133,21 @@ func (f *Framework) TrainHealthModelOn(d *Dataset, g Granularity, opts ModelOpti
 			}
 		}
 		if opts.Boost {
-			return ml.TrainAdaBoost(tx, ty, classes, ml.DefaultBoostConfig())
+			bcfg := ml.DefaultBoostConfig()
+			bcfg.Obs = sp
+			return ml.TrainAdaBoost(tx, ty, classes, bcfg)
 		}
-		return ml.TrainTree(tx, ty, nil, classes, ml.DefaultTreeConfig())
+		t := ml.TrainTree(tx, ty, nil, classes, ml.DefaultTreeConfig())
+		sp.Count("tree_nodes", float64(t.NodeCount()))
+		return t
 	}
 
 	ev := ml.CrossValidate(X, y, classes, opts.Folds, trainer, rng.New(opts.Seed))
 	maj := ml.CrossValidate(X, y, classes, opts.Folds, func(_ [][]int, ty []int) ml.Classifier {
 		return ml.TrainMajority(ty, classes)
 	}, rng.New(opts.Seed))
+	obs.Logger().Debug("health model trained",
+		"classes", classes, "cases", d.Len(), "accuracy", ev.Accuracy)
 
 	return &HealthModel{
 		granularity: g,
