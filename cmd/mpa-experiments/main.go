@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	mpa-experiments [-seed N] [-scale small|medium|full] [-only id,id,...]
+//	mpa-experiments [-seed N] [-scale small|medium|full] [-only id,id,...] [-workers N]
 //
 // Scale selects the synthetic OSP size: small (60 networks, 6 months),
 // medium (240 networks, 10 months), or full (the paper's 850 networks
 // over 17 months; takes a few minutes and several GB of memory).
+//
+// -workers bounds the goroutines each pipeline stage (generation,
+// inference, CV folds, forest trees, experiment fan-out) may use; 0 (the
+// default) uses every CPU. Output is byte-identical at any worker count.
 //
 // The observability flags of cmd/mpa (-v, -vv, -cpuprofile, -memprofile,
 // -trace, -debug-addr) are available here too; progress lines go to the
@@ -24,12 +28,14 @@ import (
 
 	"mpa"
 	"mpa/internal/obs"
+	"mpa/internal/par"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	scale := flag.String("scale", "medium", "small | medium | full")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	workers := flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = all CPUs); results are identical at any count")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -37,6 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpa-experiments:", err)
 		os.Exit(1)
 	}
+	par.SetDefaultWorkers(*workers)
 
 	var cfg mpa.Config
 	switch *scale {
@@ -54,10 +61,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	cfg.Workers = *workers
 
 	ids := mpa.ExperimentIDs()
 	if *only != "" {
 		ids = strings.Split(*only, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
 
 	obs.Logger().Info("generating OSP",
@@ -72,19 +83,21 @@ func main() {
 	obs.Logger().Info("generation + inference complete",
 		"elapsed", time.Since(t0).Round(time.Second).String(), "dataset", f.Dataset().String())
 
-	for _, id := range ids {
-		t1 := time.Now()
-		r, ok := f.Experiment(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+	// Fan the experiments out across workers; results come back in input
+	// order, so the printed output is identical at any worker count.
+	t1 := time.Now()
+	for _, res := range f.RunExperiments(ids, cfg.Workers) {
+		if !res.OK {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", res.ID)
 			continue
 		}
+		r := res.Report
 		fmt.Println(r.Title)
 		fmt.Println(strings.Repeat("=", len(r.Title)))
 		fmt.Println(r.Text)
-		obs.Logger().Info("experiment complete",
-			"id", r.ID, "elapsed", time.Since(t1).Round(time.Millisecond).String())
 	}
+	obs.Logger().Info("experiments complete",
+		"count", len(ids), "elapsed", time.Since(t1).Round(time.Millisecond).String())
 
 	if err := obsFlags.Stop(f.WriteTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "mpa-experiments:", err)

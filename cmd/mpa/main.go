@@ -30,6 +30,8 @@
 //	-history N     training history in months for `online` (default 3)
 //	-dir PATH      output directory for `export`
 //	-network NAME  network for `report`
+//	-workers N     worker goroutines per pipeline stage (0 = all CPUs);
+//	               results are byte-identical at any worker count
 //
 // Observability flags (shared with mpa-experiments):
 //
@@ -48,6 +50,7 @@ import (
 
 	"mpa"
 	"mpa/internal/obs"
+	"mpa/internal/par"
 )
 
 func main() {
@@ -59,6 +62,7 @@ func main() {
 	history := flag.Int("history", 3, "training history (months) for online prediction")
 	dir := flag.String("dir", "mpa-export", "output directory for export")
 	network := flag.String("network", "", "network name for report")
+	workers := flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = all CPUs); results are identical at any count")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -79,6 +83,7 @@ func main() {
 	if err := obsFlags.Start(); err != nil {
 		fatal(err)
 	}
+	par.SetDefaultWorkers(*workers)
 
 	if cmd == "experiment" && *id == "" {
 		fmt.Println("available experiments:")
@@ -90,6 +95,7 @@ func main() {
 
 	cfg := mpa.DefaultConfig(*seed)
 	cfg.Networks = *networks
+	cfg.Workers = *workers
 	start, _ := mpa.StudyWindow()
 	cfg.Start = start
 	cfg.End = start.Add(*monthsN - 1)

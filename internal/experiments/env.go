@@ -13,6 +13,7 @@ import (
 	"mpa/internal/months"
 	"mpa/internal/obs"
 	"mpa/internal/osp"
+	"mpa/internal/par"
 	"mpa/internal/practices"
 )
 
@@ -32,11 +33,16 @@ type Env struct {
 // NewEnv generates an OSP, runs practice inference over the full study
 // window, and assembles the case matrix. The returned Env carries the
 // root observability span covering all three stages.
+//
+// Generation and inference run their per-network loops on up to
+// p.Workers goroutines (0 = process default); the Env is byte-identical
+// at every worker count.
 func NewEnv(p osp.Params) (*Env, error) {
 	root := obs.NewRoot("pipeline")
 	o := osp.GenerateObs(p, root)
 	engine := practices.NewEngine(o.Inventory, o.Archive)
 	engine.SetObs(root)
+	engine.SetWorkers(p.Workers)
 	analysis, err := engine.Analyze(p.Months())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: inference failed: %w", err)
@@ -118,6 +124,30 @@ func Run(env *Env, id string) (Report, bool) {
 		}
 	}
 	return Report{}, false
+}
+
+// RunResult pairs an experiment ID with its outcome; OK is false for
+// unknown IDs.
+type RunResult struct {
+	ID     string
+	Report Report
+	OK     bool
+}
+
+// RunAll executes the given experiments (nil = every registered one, in
+// paper order) on up to workers goroutines (0 = process default) and
+// returns the results in input order. Experiments only read the Env, and
+// each one is internally deterministic — every stochastic step reseeds
+// from Params.Seed — so the reports are identical at any worker count.
+func RunAll(env *Env, ids []string, workers int) []RunResult {
+	if ids == nil {
+		ids = IDs()
+	}
+	out, _ := par.Map(workers, ids, func(_ int, id string) (RunResult, error) {
+		r, ok := Run(env, id)
+		return RunResult{ID: id, Report: r, OK: ok}, nil
+	})
+	return out
 }
 
 // IDs returns all experiment IDs in order.

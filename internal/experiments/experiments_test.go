@@ -416,6 +416,52 @@ func TestEnvDeterministic(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance is the parallelism regression gate: an Env
+// built with one worker and an Env built with eight must agree on every
+// registered experiment, byte for byte. Any scheduling-order dependence
+// in generation, inference, or an experiment shows up here.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full envs")
+	}
+	p := osp.Small(33)
+	p.Networks = 12
+	p.Workers = 1
+	seq, err := NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	parEnv, err := NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RunAll(parEnv, nil, 8)
+	want := RunAll(seq, nil, 1)
+	if len(got) != len(want) {
+		t.Fatalf("RunAll lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.ID != w.ID || g.OK != w.OK {
+			t.Fatalf("result[%d] = (%s, %v), want (%s, %v)", i, g.ID, g.OK, w.ID, w.OK)
+		}
+		if g.Report.Text != w.Report.Text {
+			t.Errorf("%s: Text differs between workers=1 and workers=8", w.ID)
+		}
+		if len(g.Report.Numbers) != len(w.Report.Numbers) {
+			t.Errorf("%s: Numbers has %d keys at workers=8, %d at workers=1",
+				w.ID, len(g.Report.Numbers), len(w.Report.Numbers))
+			continue
+		}
+		for k, wv := range w.Report.Numbers {
+			if gv, ok := g.Report.Numbers[k]; !ok || gv != wv {
+				t.Errorf("%s: Numbers[%q] = %v at workers=8, want %v", w.ID, k, gv, wv)
+			}
+		}
+	}
+}
+
 func TestAblationGroupingRefines(t *testing.T) {
 	r := AblationGrouping(testEnv)
 	if r.Numbers["mean_split_ratio"] < 1 {

@@ -3,6 +3,7 @@ package ml
 import (
 	"math"
 
+	"mpa/internal/par"
 	"mpa/internal/rng"
 )
 
@@ -28,6 +29,10 @@ type ForestConfig struct {
 	Variant  ForestVariant
 	Tree     TreeConfig
 	Features int // features sampled per tree; 0 = sqrt(d)
+	// Workers bounds the goroutines used for tree training; 0 uses the
+	// process default (par.SetDefaultWorkers). Every random draw happens
+	// before the fan-out, so the forest is identical at any worker count.
+	Workers int
 }
 
 // DefaultForestConfig returns a 50-tree plain forest.
@@ -71,8 +76,17 @@ func TrainForest(X [][]int, y []int, classes int, cfg ForestConfig, r *rng.RNG) 
 			minority = len(idx)
 		}
 	}
-	for t := 0; t < cfg.Trees; t++ {
-		// Bootstrap sample.
+
+	// Draw every tree's bootstrap sample and feature mask sequentially,
+	// in the exact order the original single-loop implementation consumed
+	// r — the expensive part, TrainTree, holds no randomness and fans out
+	// below, so the forest is byte-identical at any worker count.
+	type treePlan struct {
+		sample []int
+		mask   []int
+	}
+	plans := make([]treePlan, cfg.Trees)
+	for t := range plans {
 		var sample []int
 		switch cfg.Variant {
 		case ForestBalanced:
@@ -90,15 +104,19 @@ func TrainForest(X [][]int, y []int, classes int, cfg ForestConfig, r *rng.RNG) 
 				sample = append(sample, r.Intn(len(y)))
 			}
 		}
-		// Feature subset.
 		perm := r.Perm(d)
-		mask := perm[:nFeat]
-		subX := make([][]int, len(sample))
-		subY := make([]int, len(sample))
-		subW := make([]float64, len(sample))
-		for i, src := range sample {
+		plans[t] = treePlan{sample: sample, mask: perm[:nFeat]}
+	}
+
+	f.trees = make([]*Tree, cfg.Trees)
+	f.masks = make([][]int, cfg.Trees)
+	par.ForEach(cfg.Workers, plans, func(t int, plan treePlan) error {
+		subX := make([][]int, len(plan.sample))
+		subY := make([]int, len(plan.sample))
+		subW := make([]float64, len(plan.sample))
+		for i, src := range plan.sample {
 			row := make([]int, nFeat)
-			for j, feat := range mask {
+			for j, feat := range plan.mask {
 				row[j] = X[src][feat]
 			}
 			subX[i] = row
@@ -108,9 +126,10 @@ func TrainForest(X [][]int, y []int, classes int, cfg ForestConfig, r *rng.RNG) 
 				subW[i] = float64(len(y)) / (float64(classes) * float64(len(byClass[y[src]])))
 			}
 		}
-		f.trees = append(f.trees, TrainTree(subX, subY, subW, classes, cfg.Tree))
-		f.masks = append(f.masks, mask)
-	}
+		f.trees[t] = TrainTree(subX, subY, subW, classes, cfg.Tree)
+		f.masks[t] = plan.mask
+		return nil
+	})
 	return f
 }
 

@@ -97,6 +97,33 @@ func TestCrossValidateTree(t *testing.T) {
 	}
 }
 
+// TestBoostedTreeDeterministic guards the sorted-key accumulation in
+// bestSplit: boosting produces irrational sample weights whose sums are
+// sensitive to addition order, so if gain ratios were ever summed in map
+// iteration order again, near-tie splits would flip between these two
+// identically-seeded runs.
+func TestBoostedTreeDeterministic(t *testing.T) {
+	build := func() ([][]int, []int) {
+		r := rng.New(7)
+		var X [][]int
+		var y []int
+		for i := 0; i < 400; i++ {
+			row := []int{r.Intn(8), r.Intn(8), r.Intn(8), r.Intn(8), r.Intn(8)}
+			X = append(X, row)
+			y = append(y, (row[0]+row[2]+r.Intn(3))%3)
+		}
+		return X, y
+	}
+	X, y := build()
+	a := TrainAdaBoost(X, y, 3, DefaultBoostConfig())
+	b := TrainAdaBoost(X, y, 3, DefaultBoostConfig())
+	for i := range X {
+		if pa, pb := a.Predict(X[i]), b.Predict(X[i]); pa != pb {
+			t.Fatalf("identical training runs disagree at sample %d: %d vs %d", i, pa, pb)
+		}
+	}
+}
+
 func TestCrossValidateBeatsOrMatchesMajority(t *testing.T) {
 	r := rng.New(4)
 	var X [][]int

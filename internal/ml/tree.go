@@ -190,8 +190,18 @@ func bestSplit(X [][]int, y []int, w []float64, idx []int, used []bool, classes 
 		if len(groups) < 2 {
 			continue
 		}
+		// Accumulate in sorted bin order: float addition is not
+		// associative, so summing in map-iteration order perturbs the
+		// ratio's last bits and flips near-tie split choices between
+		// otherwise identical runs.
+		vals := make([]int, 0, len(groups))
+		for v := range groups {
+			vals = append(vals, v)
+		}
+		sort.Ints(vals)
 		var condH, splitInfo float64
-		for _, g := range groups {
+		for _, v := range vals {
+			g := groups[v]
 			gw := groupWeight(w, g)
 			p := gw / total
 			condH += p * weightedEntropy(y, w, g, classes)

@@ -72,6 +72,24 @@ func (a *Archive) Record(s *Snapshot) error {
 	return nil
 }
 
+// Merge absorbs another archive: every device history and special
+// account of b is appended into a. Histories of devices present in both
+// archives are concatenated (a's first), so callers merging archives
+// whose device sets are disjoint — the parallel OSP generator, which
+// builds one archive per network — get exactly the archive a sequential
+// build would have produced.
+func (a *Archive) Merge(b *Archive) {
+	if b == nil {
+		return
+	}
+	for login := range b.special {
+		a.special[login] = true
+	}
+	for dev, hist := range b.byDevice {
+		a.byDevice[dev] = append(a.byDevice[dev], hist...)
+	}
+}
+
 // Snapshots returns the device's snapshot history in time order.
 func (a *Archive) Snapshots(device string) []*Snapshot { return a.byDevice[device] }
 

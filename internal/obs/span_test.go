@@ -90,6 +90,75 @@ func TestNilSpanIsSafe(t *testing.T) {
 	}
 }
 
+// TestSpanConcurrentChildren mirrors the parallel pipeline's span usage:
+// worker goroutines each open a per-item child under a shared stage span,
+// nest grandchildren, and bump counters, while other goroutines
+// concurrently read every accessor. The assertions are secondary — the
+// point is that -race stays silent.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewRoot("stage")
+	const writers = 8
+	const perWriter = 50
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, c := range root.Children() {
+					_ = c.Name()
+					_ = c.Duration()
+					_ = c.Ended()
+					_ = c.Counters()
+					_ = c.CounterNames()
+					_ = c.Counter("months")
+					_ = c.AllocBytes()
+					_ = c.Children()
+				}
+				_ = root.Duration()
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				net := root.Start("network")
+				for m := 0; m < 3; m++ {
+					mo := net.Start("month")
+					mo.Count("events", 1)
+					mo.End()
+				}
+				net.Count("months", 3)
+				net.End()
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != writers*perWriter {
+		t.Fatalf("children = %d, want %d", len(kids), writers*perWriter)
+	}
+	for _, c := range kids {
+		if !c.Ended() || c.Counter("months") != 3 || len(c.Children()) != 3 {
+			t.Fatalf("child %q incomplete: ended=%v months=%v grandchildren=%d",
+				c.Name(), c.Ended(), c.Counter("months"), len(c.Children()))
+		}
+	}
+}
+
 // TestSpanConcurrency exercises concurrent child starts and counter adds;
 // run with -race.
 func TestSpanConcurrency(t *testing.T) {

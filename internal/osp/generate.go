@@ -2,6 +2,7 @@ package osp
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"mpa/internal/netmodel"
 	"mpa/internal/nms"
 	"mpa/internal/obs"
+	"mpa/internal/par"
 	"mpa/internal/rng"
 	"mpa/internal/ticketing"
 )
@@ -59,9 +61,39 @@ func dialectFor(v netmodel.Vendor) confmodel.Dialect {
 // parameters produce an identical OSP.
 func Generate(p Params) *OSP { return GenerateObs(p, nil) }
 
+// netStreams carries one network's private RNG streams. The streams are
+// forked from the root generator sequentially — Fork advances the parent
+// state, so the fork order is part of the deterministic contract — after
+// which every draw a network makes is private, and networks can be
+// generated in any order or concurrently.
+type netStreams struct {
+	r *rng.RNG
+	// tickets is a private stream so that health-model changes never
+	// perturb the generated topology or change history.
+	tickets *rng.RNG
+}
+
+// netResult is one network's generated output, built against private
+// archive and ticket logs so network generation can run concurrently and
+// be merged in index order afterwards.
+type netResult struct {
+	name    string
+	network *netmodel.Network
+	traits  Traits
+	truth   map[months.Month]MonthTruth
+	archive *nms.Archive
+	tickets *ticketing.Log
+	devices int
+	events  int
+}
+
 // GenerateObs is Generate with observability: generation runs under a
 // "generate" span (a child per network) and maintains the osp.* counter
 // family. A nil parent skips the span tree but keeps the counters.
+//
+// Networks are generated on up to p.Workers goroutines (0 = process
+// default) and merged in network-index order; the resulting OSP is
+// byte-identical at every worker count.
 func GenerateObs(p Params, parent *obs.Span) *OSP {
 	sp := parent.Start("generate")
 	defer sp.End()
@@ -80,17 +112,62 @@ func GenerateObs(p Params, parent *obs.Span) *OSP {
 	}
 
 	window := p.Months()
-	prevSnaps, prevTickets := 0, 0
-	for idx := 0; idx < p.Networks; idx++ {
+	streams := make([]netStreams, p.Networks)
+	for idx := range streams {
 		r := root.Fork(uint64(idx) + 1)
-		// Tickets draw from a private stream so that health-model changes
-		// never perturb the generated topology or change history.
-		ticketRNG := r.Fork(0x71c7)
-		pr := newProfile(idx, p, r)
-		nsp := sp.Start(pr.name)
-		st := buildNetwork(pr, r)
-		out.Inventory.Networks = append(out.Inventory.Networks, st.network)
-		out.Traits[pr.name] = Traits{
+		streams[idx] = netStreams{r: r, tickets: r.Fork(0x71c7)}
+	}
+
+	results, _ := par.Map(p.Workers, streams, func(idx int, ns netStreams) (*netResult, error) {
+		return generateNetwork(p, idx, ns, window, sp, log), nil
+	})
+
+	// Merge in network-index order — the exact order the sequential loop
+	// appended inventory entries and filed tickets in.
+	totalSnaps, totalTickets := 0, 0
+	for _, res := range results {
+		out.Inventory.Networks = append(out.Inventory.Networks, res.network)
+		out.Traits[res.name] = res.traits
+		out.Truth[res.name] = res.truth
+		out.Archive.Merge(res.archive)
+		for _, t := range res.tickets.All() {
+			out.Tickets.File(*t) // File reassigns the global sequential ID
+		}
+		snaps, tickets := res.archive.SnapshotCount(), res.tickets.Len()
+		totalSnaps += snaps
+		totalTickets += tickets
+		sp.Count("networks", 1)
+		sp.Count("devices", float64(res.devices))
+		sp.Count("snapshots", float64(snaps))
+		sp.Count("tickets", float64(tickets))
+		sp.Count("events", float64(res.events))
+	}
+	obs.GetCounter("osp.networks").Add(int64(p.Networks))
+	obs.GetCounter("osp.snapshots").Add(int64(totalSnaps))
+	obs.GetCounter("osp.tickets").Add(int64(totalTickets))
+	log.Info("osp generated",
+		"networks", p.Networks, "months", len(window),
+		"snapshots", totalSnaps, "tickets", totalTickets, "seed", p.Seed)
+	return out
+}
+
+// generateNetwork synthesizes one network — profile, inventory, initial
+// import, monthly change events, and tickets — entirely from its private
+// RNG streams into private archive and ticket logs.
+func generateNetwork(p Params, idx int, ns netStreams, window []months.Month, parent *obs.Span, log *slog.Logger) *netResult {
+	r := ns.r
+	pr := newProfile(idx, p, r)
+	nsp := parent.Start(pr.name)
+	defer nsp.End()
+	st := buildNetwork(pr, r)
+	res := &netResult{
+		name:    pr.name,
+		network: st.network,
+		archive: nms.NewArchive(),
+		tickets: ticketing.NewLog(),
+		truth:   map[months.Month]MonthTruth{},
+		devices: len(st.devices),
+		traits: Traits{
 			EventRate:       pr.eventRate,
 			AutomationProp:  pr.autoProp,
 			DevicesPerEvent: pr.devicesPerEvent,
@@ -98,49 +175,35 @@ func GenerateObs(p Params, parent *obs.Span) *OSP {
 			UsesBGP:         pr.useBGP,
 			UsesOSPF:        pr.useOSPF,
 			Interconnect:    pr.interconnect,
-		}
-
-		// Initial import: one snapshot per device at the window start.
-		importTime := p.Start.Start()
-		lastSnap := map[string]time.Time{}
-		for _, dev := range st.devices {
-			recordSnapshot(out.Archive, st, dev, importTime, "initial-import", lastSnap)
-		}
-
-		truth := map[months.Month]MonthTruth{}
-		events := 0
-		for _, m := range window {
-			mt := simulateMonth(out, st, m, lastSnap)
-			truth[m] = mt
-			events += mt.Events
-			emitTickets(out, st, m, mt, ticketRNG)
-		}
-		out.Truth[pr.name] = truth
-
-		snaps, tickets := out.Archive.SnapshotCount(), out.Tickets.Len()
-		nsp.Count("devices", float64(len(st.devices)))
-		nsp.Count("snapshots", float64(snaps-prevSnaps))
-		nsp.Count("tickets", float64(tickets-prevTickets))
-		nsp.Count("events", float64(events))
-		nsp.End()
-		sp.Count("networks", 1)
-		sp.Count("devices", float64(len(st.devices)))
-		sp.Count("snapshots", float64(snaps-prevSnaps))
-		sp.Count("tickets", float64(tickets-prevTickets))
-		sp.Count("events", float64(events))
-		log.Debug("network generated",
-			"network", pr.name, "devices", len(st.devices),
-			"snapshots", snaps-prevSnaps, "tickets", tickets-prevTickets,
-			"events", events)
-		prevSnaps, prevTickets = snaps, tickets
+		},
 	}
-	obs.GetCounter("osp.networks").Add(int64(p.Networks))
-	obs.GetCounter("osp.snapshots").Add(int64(prevSnaps))
-	obs.GetCounter("osp.tickets").Add(int64(prevTickets))
-	log.Info("osp generated",
-		"networks", p.Networks, "months", len(window),
-		"snapshots", prevSnaps, "tickets", prevTickets, "seed", p.Seed)
-	return out
+	for _, acct := range specialAccounts {
+		res.archive.MarkSpecialAccount(acct)
+	}
+
+	// Initial import: one snapshot per device at the window start.
+	importTime := p.Start.Start()
+	lastSnap := map[string]time.Time{}
+	for _, dev := range st.devices {
+		recordSnapshot(res.archive, st, dev, importTime, "initial-import", lastSnap)
+	}
+
+	for _, m := range window {
+		mt := simulateMonth(res.archive, st, m, lastSnap)
+		res.truth[m] = mt
+		res.events += mt.Events
+		emitTickets(res.tickets, p.Health, st, m, mt, ns.tickets)
+	}
+
+	nsp.Count("devices", float64(res.devices))
+	nsp.Count("snapshots", float64(res.archive.SnapshotCount()))
+	nsp.Count("tickets", float64(res.tickets.Len()))
+	nsp.Count("events", float64(res.events))
+	log.Debug("network generated",
+		"network", pr.name, "devices", res.devices,
+		"snapshots", res.archive.SnapshotCount(), "tickets", res.tickets.Len(),
+		"events", res.events)
+	return res
 }
 
 // plannedEvent is one change event scheduled within a month.
@@ -150,9 +213,9 @@ type plannedEvent struct {
 	count int // devices to change
 }
 
-// simulateMonth applies a month of operational activity to the network and
-// returns the ground-truth record.
-func simulateMonth(out *OSP, st *netState, m months.Month, lastSnap map[string]time.Time) MonthTruth {
+// simulateMonth applies a month of operational activity to the network,
+// archiving snapshots into a, and returns the ground-truth record.
+func simulateMonth(a *nms.Archive, st *netState, m months.Month, lastSnap map[string]time.Time) MonthTruth {
 	r := st.r
 	pr := st.profile
 	nEvents := r.Poisson(pr.eventRate)
@@ -234,7 +297,7 @@ func simulateMonth(out *OSP, st *netState, m months.Month, lastSnap map[string]t
 					}
 					extraTypes = st.mutateDevice(mut.device, kind, 0)
 				}
-				changed := recordSnapshot(out.Archive, st, mut.device, t, login, lastSnap)
+				changed := recordSnapshot(a, st, mut.device, t, login, lastSnap)
 				t = t.Add(time.Duration(10+r.Intn(90)) * time.Second)
 				if !changed {
 					continue
@@ -328,10 +391,9 @@ var symptoms = []string{
 }
 
 // emitTickets draws the month's tickets from the ground-truth health model
-// and files them.
-func emitTickets(out *OSP, st *netState, m months.Month, mt MonthTruth, r *rng.RNG) {
+// w and files them into log.
+func emitTickets(log *ticketing.Log, w HealthWeights, st *netState, m months.Month, mt MonthTruth, r *rng.RNG) {
 	pr := st.profile
-	w := out.Params.Health
 	models := len(st.network.Models())
 	roles := len(st.network.Roles())
 	lambda := w.Lambda(len(st.devices), len(st.vlanIDs), models, roles, mt, r)
@@ -354,7 +416,7 @@ func emitTickets(out *OSP, st *netState, m months.Month, mt MonthTruth, r *rng.R
 		if r.Bool(0.3) && len(st.devices) > 1 {
 			devs = append(devs, st.devices[r.Intn(len(st.devices))].Name)
 		}
-		out.Tickets.File(ticketing.Ticket{
+		log.File(ticketing.Ticket{
 			Network:  pr.name,
 			Devices:  devs,
 			Origin:   origin,
@@ -367,7 +429,7 @@ func emitTickets(out *OSP, st *netState, m months.Month, mt MonthTruth, r *rng.R
 	// Planned maintenance (excluded from health by the pipeline).
 	for i := 0; i < r.Poisson(w.MaintenanceRate); i++ {
 		opened := monthStart.Add(time.Duration(r.Float64() * float64(span)))
-		out.Tickets.File(ticketing.Ticket{
+		log.File(ticketing.Ticket{
 			Network:  pr.name,
 			Origin:   ticketing.OriginMaintenance,
 			Opened:   opened,

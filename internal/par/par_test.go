@@ -1,0 +1,154 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(items) {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, []string(nil), func(i int, s string) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(nil) = %v, %v", out, err)
+	}
+}
+
+func TestFirstErrorByIndex(t *testing.T) {
+	// Several items fail; the reported error must always be the one with
+	// the lowest index, regardless of worker count or scheduling.
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 20; trial++ {
+			err := ForEachN(workers, 50, func(i int) error {
+				if i == 7 || i == 8 || i == 33 {
+					return fmt.Errorf("item %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "item 7 failed" {
+				t.Fatalf("workers=%d: err = %v, want item 7 failed", workers, err)
+			}
+		}
+	}
+}
+
+func TestSequentialStopsAtFirstError(t *testing.T) {
+	// workers=1 must behave exactly like a plain loop: nothing after the
+	// first error runs.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEachN(1, 10, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Errorf("ran %d items, want 4", ran.Load())
+	}
+}
+
+func TestErrorSkipsLaterItems(t *testing.T) {
+	// After a failure, not-yet-dispatched indexes are skipped: with an
+	// early error the pool should not run all 10000 items.
+	var ran atomic.Int64
+	err := ForEachN(4, 10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() == 10000 {
+		t.Error("pool ran every item despite an early failure")
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEachN(workers, 200, func(i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent items, worker cap is %d", p, workers)
+	}
+}
+
+func TestForEachPassesItems(t *testing.T) {
+	items := []string{"a", "b", "c"}
+	got := make([]string, len(items))
+	if err := ForEach(2, items, func(i int, s string) error {
+		got[i] = s
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range items {
+		if got[i] != s {
+			t.Errorf("got[%d] = %q, want %q", i, got[i], s)
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	orig := DefaultWorkers()
+	defer SetDefaultWorkers(orig)
+	if orig != runtime.NumCPU() {
+		t.Errorf("initial default = %d, want NumCPU %d", orig, runtime.NumCPU())
+	}
+	SetDefaultWorkers(5)
+	if DefaultWorkers() != 5 || Resolve(0) != 5 || Resolve(-1) != 5 {
+		t.Errorf("default not applied: %d", DefaultWorkers())
+	}
+	if Resolve(3) != 3 {
+		t.Errorf("Resolve(3) = %d", Resolve(3))
+	}
+	SetDefaultWorkers(0)
+	if DefaultWorkers() != runtime.NumCPU() {
+		t.Errorf("reset default = %d, want NumCPU", DefaultWorkers())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"mpa/internal/netmodel"
 	"mpa/internal/nms"
 	"mpa/internal/obs"
+	"mpa/internal/par"
 )
 
 // monthHist records per-network-month inference latency in milliseconds;
@@ -34,6 +35,12 @@ type ChangeDetail struct {
 }
 
 // HasType reports whether the change touched the given stanza type.
+//
+// The linear scan is deliberate: Types holds the distinct stanza types of
+// one change event — almost always one to three entries, bounded by
+// confmodel.NumTypes — so a set would cost an allocation per ChangeDetail
+// (inference builds one per change across every network-month) to speed up
+// a scan that already fits in a cache line.
 func (c ChangeDetail) HasType(t confmodel.Type) bool {
 	for _, ty := range c.Types {
 		if ty == t {
@@ -44,7 +51,7 @@ func (c ChangeDetail) HasType(t confmodel.Type) bool {
 }
 
 // HasRouterType reports whether the change touched a routing-protocol
-// stanza.
+// stanza. Like HasType, it scans: Types is tiny (see HasType).
 func (c ChangeDetail) HasRouterType() bool {
 	for _, ty := range c.Types {
 		if ty.IsRouter() {
@@ -68,9 +75,10 @@ type MonthAnalysis struct {
 // archive. It is the analytics-side counterpart of the generator: it sees
 // only raw data, never ground truth.
 type Engine struct {
-	inv   *netmodel.Inventory
-	arch  *nms.Archive
-	delta time.Duration // change-event grouping threshold
+	inv     *netmodel.Inventory
+	arch    *nms.Archive
+	delta   time.Duration // change-event grouping threshold
+	workers int           // goroutines for Analyze; 0 = process default
 
 	cisco confmodel.Dialect
 	junos confmodel.Dialect
@@ -97,6 +105,14 @@ func (e *Engine) SetDelta(d time.Duration) { e.delta = d }
 // SetObs attaches a parent span; subsequent Analyze runs record an
 // "inference" span with per-network (and per-month) children under it.
 func (e *Engine) SetObs(sp *obs.Span) { e.obs = sp }
+
+// SetWorkers bounds the goroutines Analyze uses to process networks
+// concurrently. Zero or negative uses the process default
+// (par.SetDefaultWorkers, initially all CPUs). The analysis output is
+// identical at every worker count: each network's inference is
+// independent and the per-network results are collected in inventory
+// order.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
 
 // parse parses a snapshot's text with the device's vendor dialect.
 func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config, error) {
@@ -229,18 +245,25 @@ func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.
 }
 
 // Analyze runs AnalyzeNetwork for every network in the inventory, under
-// one "inference" span when a parent was attached with SetObs.
+// one "inference" span when a parent was attached with SetObs. Networks
+// are analyzed on up to SetWorkers goroutines (snapshot parsing is the
+// pipeline's dominant cost); the inventory and archive are only read, and
+// results are collected in inventory order, so the output is identical at
+// every worker count. On failure the lowest-inventory-index error is
+// returned — the same error a sequential pass would surface first.
 func (e *Engine) Analyze(window []months.Month) (map[string][]MonthAnalysis, error) {
 	sp := e.obs.Start("inference")
 	defer sp.End()
 	start := time.Now()
-	out := make(map[string][]MonthAnalysis, len(e.inv.Networks))
-	for _, nw := range e.inv.Networks {
-		ma, err := e.analyzeNetwork(nw.Name, window, sp)
-		if err != nil {
-			return nil, err
-		}
-		out[nw.Name] = ma
+	results, err := par.Map(e.workers, e.inv.Networks, func(_ int, nw *netmodel.Network) ([]MonthAnalysis, error) {
+		return e.analyzeNetwork(nw.Name, window, sp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]MonthAnalysis, len(results))
+	for i, ma := range results {
+		out[e.inv.Networks[i].Name] = ma
 	}
 	sp.Count("networks", float64(len(out)))
 	obs.Logger().Info("inference complete",

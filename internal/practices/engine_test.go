@@ -368,6 +368,46 @@ func TestChangeDetailHelpers(t *testing.T) {
 	}
 }
 
+func TestHasTypeExhaustive(t *testing.T) {
+	var empty ChangeDetail
+	for ty := confmodel.Type(0); int(ty) < confmodel.NumTypes; ty++ {
+		if empty.HasType(ty) {
+			t.Fatalf("empty change HasType(%v) = true", ty)
+		}
+	}
+	if empty.HasRouterType() {
+		t.Error("empty change HasRouterType = true")
+	}
+
+	// A change carrying every type answers true for each, and duplicate
+	// entries (which diffing can produce for multi-stanza changes) don't
+	// confuse the scan.
+	all := ChangeDetail{}
+	for ty := confmodel.Type(0); int(ty) < confmodel.NumTypes; ty++ {
+		all.Types = append(all.Types, ty, ty)
+	}
+	for ty := confmodel.Type(0); int(ty) < confmodel.NumTypes; ty++ {
+		if !all.HasType(ty) {
+			t.Errorf("HasType(%v) = false on all-types change", ty)
+		}
+	}
+	if !all.HasRouterType() {
+		t.Error("HasRouterType = false on all-types change")
+	}
+}
+
+func TestHasRouterTypeMatchesIsRouter(t *testing.T) {
+	// HasRouterType must agree with confmodel.Type.IsRouter for every
+	// single-type change, so the two definitions of "router stanza" can
+	// never drift apart.
+	for ty := confmodel.Type(0); int(ty) < confmodel.NumTypes; ty++ {
+		c := ChangeDetail{Types: []confmodel.Type{ty}}
+		if got, want := c.HasRouterType(), ty.IsRouter(); got != want {
+			t.Errorf("HasRouterType([%v]) = %v, IsRouter = %v", ty, got, want)
+		}
+	}
+}
+
 func TestMonthsAlignment(t *testing.T) {
 	window := testOSP.Params.Months()
 	for name, mas := range testAnalysis {

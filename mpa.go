@@ -104,6 +104,12 @@ type Config struct {
 	// Health overrides the ground-truth health model (zero value = use
 	// the calibrated defaults).
 	Health *HealthWeights
+	// Workers bounds the goroutines each pipeline stage (generation,
+	// inference, cross-validation folds, forest trees, experiment runs)
+	// may use. Zero or negative uses the process default — all CPUs, or
+	// whatever par.SetDefaultWorkers / the CLIs' -workers flag set. Every
+	// result is byte-identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper-scale configuration: 850 networks over
@@ -141,6 +147,7 @@ func (c Config) params() osp.Params {
 		End:                c.End,
 		Health:             osp.DefaultHealthWeights(),
 		MeanEventsPerMonth: c.MeanEventsPerMonth,
+		Workers:            c.Workers,
 	}
 	if c.Health != nil {
 		p.Health = *c.Health
@@ -251,6 +258,17 @@ func (f *Framework) AnalyzeCausal(metric string) (*CausalResult, error) {
 // ExperimentIDs) and reports whether the ID was known.
 func (f *Framework) Experiment(id string) (Report, bool) {
 	return experiments.Run(f.env, id)
+}
+
+// ExperimentResult pairs an experiment ID with its outcome; OK is false
+// for unknown IDs.
+type ExperimentResult = experiments.RunResult
+
+// RunExperiments executes the given experiments (nil = all, in paper
+// order) on up to workers goroutines (0 = process default) and returns
+// the results in input order. Reports are identical at any worker count.
+func (f *Framework) RunExperiments(ids []string, workers int) []ExperimentResult {
+	return experiments.RunAll(f.env, ids, workers)
 }
 
 // ExperimentIDs lists the reproducible tables and figures in paper order.

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the pipeline stage benchmarks and record a JSON baseline.
+#
+# Usage:
+#
+#   scripts/bench.sh [count]
+#
+# Runs BenchmarkGenerate, BenchmarkInference, BenchmarkTable3, and
+# BenchmarkSection61 with -count (default 10) repetitions each and writes
+# BENCH_<YYYY-MM-DD>.json in the repo root: one object per benchmark run
+# with ns/op, B/op, and allocs/op, plus the host's CPU count and the
+# GOMAXPROCS/worker setting in effect. Compare two baselines with e.g.
+#
+#   jq -s 'group_by(.name) | map({name: .[0].name, median_ns: (map(.ns_per_op) | sort | .[length/2 | floor])})' BENCH_*.json
+#
+# Benchmarks run at the process-default worker count (all CPUs). Set
+# MPA_BENCH_ARGS to pass extra go-test flags, e.g.
+# MPA_BENCH_ARGS='-cpuprofile cpu.out'.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+count="${1:-10}"
+pattern='^(BenchmarkGenerate|BenchmarkInference|BenchmarkTable3|BenchmarkSection61)$'
+out="BENCH_$(date +%F).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running stage benchmarks (count=$count) ..." >&2
+# shellcheck disable=SC2086  # MPA_BENCH_ARGS is intentionally word-split
+go test -run '^$' -bench "$pattern" -benchmem -count="$count" \
+    ${MPA_BENCH_ARGS:-} . | tee "$raw" >&2
+
+awk -v date="$(date -u +%FT%TZ)" '
+  /^Benchmark/ {
+      # The -N suffix go test appends to benchmark names is GOMAXPROCS.
+      name = $1
+      ncpu = 1
+      if (match(name, /-[0-9]+$/)) {
+          ncpu = substr(name, RSTART + 1)
+          name = substr(name, 1, RSTART - 1)
+      }
+      printf "{\"date\":\"%s\",\"gomaxprocs\":%s,\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n",
+          date, ncpu, name, $2, $3, $5, $7
+  }
+' "$raw" > "$out"
+
+n="$(wc -l < "$out")"
+if [ "$n" -eq 0 ]; then
+    echo "bench.sh: no benchmark lines parsed" >&2
+    exit 1
+fi
+echo "wrote $n benchmark records to $out" >&2
