@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"mpa/internal/cache"
 	"mpa/internal/experiments"
 	"mpa/internal/months"
 	"mpa/internal/osp"
@@ -80,6 +81,31 @@ func BenchmarkInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		engine := practices.NewEngine(o.Inventory, o.Archive)
+		if _, err := engine.Analyze(o.Params.Months()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferenceWarmCache is BenchmarkInference with the
+// content-addressed cache enabled and pre-warmed: every per-network
+// analysis is served from the in-memory tier, so the gap to
+// BenchmarkInference is the cache's incremental-rerun speedup (results
+// are byte-identical either way; see TestCacheEquivalence).
+func BenchmarkInferenceWarmCache(b *testing.B) {
+	o := osp.Generate(func() osp.Params {
+		p := osp.Small(2)
+		p.Networks = 20
+		return p
+	}())
+	engine := practices.NewEngine(o.Inventory, o.Archive)
+	engine.SetCache(cache.Config{Enabled: true})
+	if _, err := engine.Analyze(o.Params.Months()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if _, err := engine.Analyze(o.Params.Months()); err != nil {
 			b.Fatal(err)
 		}

@@ -32,6 +32,11 @@
 //	-network NAME  network for `report`
 //	-workers N     worker goroutines per pipeline stage (0 = all CPUs);
 //	               results are byte-identical at any worker count
+//	-cache         content-addressed caching of pure pipeline stages
+//	               (default true; results are identical either way)
+//	-cache-dir D   on-disk cache tier; warm re-runs with the same directory
+//	               skip all unchanged per-network work
+//	-cache-max N   max in-memory cache entries per pipeline stage
 //
 // Observability flags (shared with mpa-experiments):
 //
@@ -49,6 +54,7 @@ import (
 	"strings"
 
 	"mpa"
+	"mpa/internal/cache"
 	"mpa/internal/obs"
 	"mpa/internal/par"
 )
@@ -63,6 +69,9 @@ func main() {
 	dir := flag.String("dir", "mpa-export", "output directory for export")
 	network := flag.String("network", "", "network name for report")
 	workers := flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = all CPUs); results are identical at any count")
+	cacheOn := flag.Bool("cache", true, "content-addressed caching of pure pipeline stages; results are identical either way")
+	cacheDir := flag.String("cache-dir", "", "on-disk cache tier directory (empty = in-memory only); warm re-runs skip unchanged per-network work")
+	cacheMax := flag.Int("cache-max", cache.DefaultMaxEntries, "max in-memory cache entries per pipeline stage")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -96,6 +105,7 @@ func main() {
 	cfg := mpa.DefaultConfig(*seed)
 	cfg.Networks = *networks
 	cfg.Workers = *workers
+	cfg.Cache = mpa.CacheConfig{Enabled: *cacheOn, Dir: *cacheDir, MaxEntries: *cacheMax}
 	start, _ := mpa.StudyWindow()
 	cfg.Start = start
 	cfg.End = start.Add(*monthsN - 1)

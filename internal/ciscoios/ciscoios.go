@@ -33,7 +33,9 @@ func (Dialect) Name() string { return "cisco-ios" }
 // logging, sflow, stp, udld) render as top-level command lines.
 func (Dialect) Render(c *confmodel.Config) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "hostname %s\n!\n", c.Hostname)
+	if c.Hostname != "" {
+		fmt.Fprintf(&b, "hostname %s\n!\n", c.Hostname)
+	}
 	for _, s := range c.Stanzas() {
 		renderStanza(&b, s)
 	}
@@ -212,7 +214,7 @@ func (Dialect) Parse(text string) (*confmodel.Config, error) {
 	}
 	for lineNo, raw := range strings.Split(text, "\n") {
 		line := strings.TrimRight(raw, " \t")
-		if line == "" || line == "!" || line == "end" {
+		if strings.TrimSpace(line) == "" || line == "!" || line == "end" {
 			continue
 		}
 		if strings.HasPrefix(line, " ") {
@@ -297,10 +299,13 @@ func (Dialect) Parse(text string) (*confmodel.Config, error) {
 // current stanza.
 func parseOption(s *confmodel.Stanza, line string) error {
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty option line")
+	}
 	switch s.Type {
 	case confmodel.TypeInterface:
 		switch {
-		case fields[0] == "description":
+		case fields[0] == "description" && len(fields) >= 2:
 			s.Set("description", strings.Join(fields[1:], " "))
 		case strings.HasPrefix(line, "ip address ") && len(fields) == 3:
 			s.Set("address", fields[2])
@@ -308,7 +313,8 @@ func parseOption(s *confmodel.Stanza, line string) error {
 			s.Set("mtu", fields[1])
 		case strings.HasPrefix(line, "switchport access vlan ") && len(fields) == 4:
 			s.Set("access-vlan", fields[3])
-		case strings.HasPrefix(line, "ip access-group ") && len(fields) == 4:
+		case strings.HasPrefix(line, "ip access-group ") && len(fields) == 4 &&
+			(fields[3] == "in" || fields[3] == "out"):
 			s.Set("acl-"+fields[3], fields[2])
 		case strings.HasPrefix(line, "channel-group ") && len(fields) == 4:
 			s.Set("lag-group", fields[1])
@@ -320,7 +326,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 			return fmt.Errorf("unknown interface option")
 		}
 	case confmodel.TypeVLAN:
-		if fields[0] == "name" {
+		if fields[0] == "name" && len(fields) >= 2 {
 			s.Set("description", strings.Join(fields[1:], " "))
 		} else {
 			return fmt.Errorf("unknown vlan option")

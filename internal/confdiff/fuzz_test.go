@@ -1,0 +1,70 @@
+package confdiff_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mpa/internal/ciscoios"
+	"mpa/internal/confdiff"
+	"mpa/internal/conftest"
+	"mpa/internal/rng"
+)
+
+// FuzzDiff checks the diff algebra over arbitrary pairs of config texts
+// (parsed through the Cisco dialect; unparseable inputs are skipped):
+// diff(x, x) is empty, diff is deterministic, and diff(a, b) mirrors
+// diff(b, a) with adds and removes swapped.
+func FuzzDiff(f *testing.F) {
+	var d ciscoios.Dialect
+	r := rng.New(11)
+	for i := 0; i < 4; i++ {
+		a := d.Render(conftest.RandomConfig(r, conftest.StyleCisco))
+		b := d.Render(conftest.RandomConfig(r, conftest.StyleCisco))
+		f.Add(a, b)
+		f.Add(a, a)
+	}
+	f.Add("", "")
+	f.Add("hostname a\n!\n", "hostname b\n!\n")
+	f.Fuzz(func(t *testing.T, textA, textB string) {
+		a, err := d.Parse(textA)
+		if err != nil {
+			return
+		}
+		b, err := d.Parse(textB)
+		if err != nil {
+			return
+		}
+		if diff := confdiff.Diff(a, a); len(diff) != 0 {
+			t.Fatalf("diff(a, a) = %v, want empty", diff)
+		}
+		if diff := confdiff.Diff(b, b); len(diff) != 0 {
+			t.Fatalf("diff(b, b) = %v, want empty", diff)
+		}
+		ab := confdiff.Diff(a, b)
+		if again := confdiff.Diff(a, b); !reflect.DeepEqual(ab, again) {
+			t.Fatalf("diff not deterministic: %v vs %v", ab, again)
+		}
+		ba := confdiff.Diff(b, a)
+		if len(ab) != len(ba) {
+			t.Fatalf("diff(a,b) has %d changes, diff(b,a) has %d", len(ab), len(ba))
+		}
+		// Both are sorted by (type, name, kind) and no stanza key appears
+		// twice, so reversing direction swaps adds and removes in place.
+		for i, c := range ab {
+			m := ba[i]
+			if c.Type != m.Type || c.Name != m.Name {
+				t.Fatalf("change %d: %v vs mirrored %v", i, c, m)
+			}
+			want := c.Kind
+			switch c.Kind {
+			case confdiff.KindAdd:
+				want = confdiff.KindRemove
+			case confdiff.KindRemove:
+				want = confdiff.KindAdd
+			}
+			if m.Kind != want {
+				t.Fatalf("change %d: kind %v mirrored to %v, want %v", i, c.Kind, m.Kind, want)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpa/internal/cache"
 	"mpa/internal/dataset"
 	"mpa/internal/months"
 	"mpa/internal/obs"
@@ -38,20 +39,32 @@ type Env struct {
 // p.Workers goroutines (0 = process default); the Env is byte-identical
 // at every worker count.
 func NewEnv(p osp.Params) (*Env, error) {
+	return NewEnvCached(p, cache.Config{})
+}
+
+// NewEnvCached is NewEnv with the content-addressed pipeline caches
+// configured by cc: snapshot parsing, diffing, and per-network inference
+// are memoized in the practice engine, and the dataset build is keyed on
+// the analysis digest. Caching never changes the Env's contents — cold,
+// warm, and disabled runs are byte-identical (TestCacheEquivalence).
+func NewEnvCached(p osp.Params, cc cache.Config) (*Env, error) {
 	root := obs.NewRoot("pipeline")
 	o := osp.GenerateObs(p, root)
 	engine := practices.NewEngine(o.Inventory, o.Archive)
 	engine.SetObs(root)
 	engine.SetWorkers(p.Workers)
+	engine.SetCache(cc)
 	analysis, err := engine.Analyze(p.Months())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: inference failed: %w", err)
 	}
+	upstream, haveKey := engine.AnalysisKey()
+	data := dataset.BuildCached(analysis, o.Tickets, root, cache.New("dataset", cc), upstream, haveKey)
 	return &Env{
 		Params:   p,
 		OSP:      o,
 		Analysis: analysis,
-		Data:     dataset.BuildObs(analysis, o.Tickets, root),
+		Data:     data,
 		Obs:      root,
 	}, nil
 }

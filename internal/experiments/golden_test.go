@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden experiment reports")
+
+// goldenRender serializes a report for golden comparison: title, rendered
+// text, then every key number with full float64 precision, so any change
+// to an experiment's output — formatting or numeric — shows up as a diff.
+func goldenRender(r Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "title: %s\n\n%s\n", r.Title, r.Text)
+	if len(r.Numbers) > 0 {
+		keys := make([]string, 0, len(r.Numbers))
+		for k := range r.Numbers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("\nnumbers:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s = %s\n", k, strconv.FormatFloat(r.Numbers[k], 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenReports pins every experiment's full report — text and key
+// numbers — against testdata/golden/<id>.txt. The pipeline is seeded and
+// deterministic at every worker count, so any diff is a real behavior
+// change. Regenerate intentionally with:
+//
+//	go test ./internal/experiments/ -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	for _, entry := range Registry() {
+		t.Run(entry.ID, func(t *testing.T) {
+			got := goldenRender(entry.Run(testEnv))
+			path := filepath.Join("testdata", "golden", entry.ID+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report differs from %s (re-run with -update if intended)\n%s",
+					path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first diff at line %d:\n  want: %q\n  got:  %q", i+1, w, g)
+		}
+	}
+	return "contents equal"
+}

@@ -1,0 +1,78 @@
+package hypothesis
+
+import (
+	"math"
+	"testing"
+
+	"mpa/internal/rng"
+)
+
+// TestSignTestProperties checks the sign test on arbitrary difference
+// vectors: the p-value is a probability, the test is symmetric under
+// negating every difference, counts add up, and ties are excluded.
+func TestSignTestProperties(t *testing.T) {
+	r := rng.New(3)
+	for i := 0; i < 300; i++ {
+		n := r.Intn(80)
+		diffs := make([]float64, n)
+		neg := make([]float64, n)
+		for j := range diffs {
+			switch r.Intn(3) {
+			case 0:
+				diffs[j] = 0
+			default:
+				diffs[j] = r.Normal(0, 5)
+			}
+			neg[j] = -diffs[j]
+		}
+		res := SignTest(diffs)
+		if res.PValue < 0 || res.PValue > 1 || math.IsNaN(res.PValue) {
+			t.Fatalf("iteration %d: p = %v, want in [0, 1]", i, res.PValue)
+		}
+		if res.Positive+res.Negative+res.Ties != n {
+			t.Fatalf("iteration %d: counts %d+%d+%d != %d",
+				i, res.Positive, res.Negative, res.Ties, n)
+		}
+		if res.N() != res.Positive+res.Negative {
+			t.Fatalf("iteration %d: N() = %d, want %d (ties excluded)",
+				i, res.N(), res.Positive+res.Negative)
+		}
+		mirror := SignTest(neg)
+		if mirror.Positive != res.Negative || mirror.Negative != res.Positive {
+			t.Fatalf("iteration %d: negation did not swap counts: %+v vs %+v", i, res, mirror)
+		}
+		if math.Abs(mirror.PValue-res.PValue) > 1e-12 {
+			t.Fatalf("iteration %d: p not symmetric under negation: %v vs %v",
+				i, res.PValue, mirror.PValue)
+		}
+	}
+}
+
+// TestSignTestCountsProperties checks the count-based form directly over
+// the full small-sample grid: probability range, symmetry in (pos, neg),
+// p = 1 for balanced counts, and monotone decrease as the split grows
+// more lopsided at fixed n.
+func TestSignTestCountsProperties(t *testing.T) {
+	for n := 0; n <= 60; n++ {
+		prev := math.Inf(1)
+		for pos := (n + 1) / 2; pos <= n; pos++ {
+			neg := n - pos
+			p := SignTestCounts(pos, neg)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("SignTestCounts(%d, %d) = %v, want in [0, 1]", pos, neg, p)
+			}
+			if sym := SignTestCounts(neg, pos); math.Abs(sym-p) > 1e-12 {
+				t.Fatalf("SignTestCounts not symmetric: (%d,%d)=%v, (%d,%d)=%v",
+					pos, neg, p, neg, pos, sym)
+			}
+			if pos == neg && math.Abs(p-1) > 1e-12 {
+				t.Fatalf("SignTestCounts(%d, %d) = %v, want 1 for a balanced split", pos, neg, p)
+			}
+			if p > prev+1e-12 {
+				t.Fatalf("SignTestCounts(%d, %d) = %v rose above %v; want monotone in lopsidedness",
+					pos, neg, p, prev)
+			}
+			prev = p
+		}
+	}
+}

@@ -26,7 +26,9 @@ func (Dialect) Name() string { return "junos" }
 // Render serializes the configuration to JunOS-style text.
 func (Dialect) Render(c *confmodel.Config) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "host-name %s;\n", c.Hostname)
+	if c.Hostname != "" {
+		fmt.Fprintf(&b, "host-name %s;\n", c.Hostname)
+	}
 	for _, s := range c.Stanzas() {
 		renderStanza(&b, s)
 	}
@@ -130,11 +132,11 @@ func renderStanza(b *strings.Builder, s *confmodel.Stanza) {
 		opt("region", "configuration-name %s")
 		closeBlock()
 	case confmodel.TypeUDLD:
+		open("link-fault-management")
 		if s.Get("enable") == "true" {
-			open("link-fault-management")
 			b.WriteString("    enable;\n")
-			closeBlock()
 		}
+		closeBlock()
 	case confmodel.TypeDHCPRelay:
 		open("forwarding-options dhcp-relay " + s.Name)
 		opt("vlan", "vlan %s")
@@ -274,13 +276,16 @@ func stanzaFromHeader(header string) (*confmodel.Stanza, error) {
 // parseOption interprets one semicolon-terminated option line.
 func parseOption(s *confmodel.Stanza, line string) error {
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty option line")
+	}
 	quoted := func(rest string) string {
 		return strings.Trim(strings.TrimSpace(rest), "\"")
 	}
 	switch s.Type {
 	case confmodel.TypeInterface:
 		switch {
-		case fields[0] == "description":
+		case fields[0] == "description" && quoted(line[len("description"):]) != "":
 			s.Set("description", quoted(line[len("description"):]))
 		case fields[0] == "address" && len(fields) == 2:
 			s.Set("address", fields[1])
@@ -290,7 +295,8 @@ func parseOption(s *confmodel.Stanza, line string) error {
 			s.Set("acl-in", fields[2])
 		case fields[0] == "filter" && len(fields) == 3 && fields[1] == "output":
 			s.Set("acl-out", fields[2])
-		case fields[0] == "gigether-options" && len(fields) == 3 && fields[1] == "802.3ad":
+		case fields[0] == "gigether-options" && len(fields) == 3 && fields[1] == "802.3ad" &&
+			strings.TrimPrefix(fields[2], "ae") != "":
 			s.Set("lag-group", strings.TrimPrefix(fields[2], "ae"))
 		case fields[0] == "scheduler-map" && len(fields) == 2:
 			s.Set("service-policy", fields[1])
@@ -303,7 +309,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		switch {
 		case fields[0] == "vlan-id" && len(fields) == 2:
 			s.Set("vlan-id", fields[1])
-		case fields[0] == "description":
+		case fields[0] == "description" && quoted(line[len("description"):]) != "":
 			s.Set("description", quoted(line[len("description"):]))
 		case fields[0] == "interface" && len(fields) == 2:
 			s.Set("member:"+fields[1], "true")

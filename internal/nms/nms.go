@@ -60,6 +60,18 @@ func (a *Archive) MarkSpecialAccount(login string) { a.special[login] = true }
 // automated.
 func (a *Archive) IsAutomated(login string) bool { return a.special[login] }
 
+// SpecialAccounts returns the registered automation logins, sorted. The
+// inference cache folds them into its content-addressed keys: reclassifying
+// a login changes every affected network's digest.
+func (a *Archive) SpecialAccounts() []string {
+	out := make([]string, 0, len(a.special))
+	for login := range a.special {
+		out = append(out, login)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Record appends a snapshot to the device's history. Snapshots must be
 // recorded in non-decreasing time order per device.
 func (a *Archive) Record(s *Snapshot) error {

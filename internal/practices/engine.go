@@ -1,9 +1,11 @@
 package practices
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
+	"mpa/internal/cache"
 	"mpa/internal/ciscoios"
 	"mpa/internal/confdiff"
 	"mpa/internal/confmodel"
@@ -84,6 +86,19 @@ type Engine struct {
 	junos confmodel.Dialect
 
 	obs *obs.Span // parent span for analysis runs; nil = untraced
+
+	// Content-addressed memoization of the engine's pure stages (see
+	// internal/cache); all nil when caching is disabled. Cached values
+	// (parsed configs, diffs, month analyses) are shared and immutable.
+	parseCache *cache.Cache // snapshot text -> *confmodel.Config
+	diffCache  *cache.Cache // snapshot text pair -> []confdiff.StanzaChange
+	netCache   *cache.Cache // network inputs -> []MonthAnalysis
+
+	// analysisKey digests the inputs of the last Analyze call (the
+	// per-network keys in inventory order); valid only when caching was
+	// enabled for that run.
+	analysisKey   cache.Key
+	analysisKeyOK bool
 }
 
 // NewEngine returns an inference engine over the given data sources using
@@ -106,6 +121,25 @@ func (e *Engine) SetDelta(d time.Duration) { e.delta = d }
 // "inference" span with per-network (and per-month) children under it.
 func (e *Engine) SetObs(sp *obs.Span) { e.obs = sp }
 
+// SetCache enables content-addressed memoization of the engine's pure
+// stages: snapshot parsing, per-pair diffing, and whole per-network month
+// analyses. Parse results and network analyses also use the on-disk tier
+// when cfg.Dir is set, so a fresh process re-analyzing unchanged inputs
+// skips all per-network work. Caching never changes results — a cold,
+// warm, or disabled run produces byte-identical analyses.
+func (e *Engine) SetCache(cfg cache.Config) {
+	e.parseCache = cache.New("parse", cfg)
+	e.diffCache = cache.New("confdiff", cfg)
+	e.netCache = cache.New("practices", cfg)
+}
+
+// AnalysisKey returns the content digest of the last Analyze run's inputs
+// (delta, window, inventory, snapshot streams, automation accounts), for
+// keying downstream caches. ok is false when caching was disabled.
+func (e *Engine) AnalysisKey() (key cache.Key, ok bool) {
+	return e.analysisKey, e.analysisKeyOK
+}
+
 // SetWorkers bounds the goroutines Analyze uses to process networks
 // concurrently. Zero or negative uses the process default
 // (par.SetDefaultWorkers, initially all CPUs). The analysis output is
@@ -114,42 +148,137 @@ func (e *Engine) SetObs(sp *obs.Span) { e.obs = sp }
 // order.
 func (e *Engine) SetWorkers(n int) { e.workers = n }
 
-// parse parses a snapshot's text with the device's vendor dialect.
-func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config, error) {
-	d := e.junos
+// dialect returns the device's vendor dialect.
+func (e *Engine) dialect(dev *netmodel.Device) confmodel.Dialect {
 	if dev.Vendor == netmodel.VendorCisco {
-		d = e.cisco
+		return e.cisco
 	}
-	cfg, err := d.Parse(s.Text)
+	return e.junos
+}
+
+// parse parses a snapshot's text with the device's vendor dialect,
+// memoized by text content when caching is enabled. The disk tier stores
+// the canonical rendering of the parsed config — Render is the encode,
+// Parse the decode, so the codec is exactly the dialect's (fuzz- and
+// property-tested) round trip.
+func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config, error) {
+	d := e.dialect(dev)
+	var cfg *confmodel.Config
+	var err error
+	if e.parseCache == nil {
+		cfg, err = d.Parse(s.Text)
+	} else {
+		key := cache.KeyOf("parse/v1", d.Name(), s.Text)
+		codec := cache.Codec[*confmodel.Config]{
+			Encode: func(c *confmodel.Config) ([]byte, error) { return []byte(d.Render(c)), nil },
+			Decode: func(b []byte) (*confmodel.Config, error) { return d.Parse(string(b)) },
+		}
+		cfg, err = cache.GetOrCompute(e.parseCache, key, codec, func() (*confmodel.Config, error) {
+			return d.Parse(s.Text)
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("practices: parsing snapshot of %s at %v: %w", dev.Name, s.Time, err)
 	}
 	return cfg, nil
 }
 
+// diffSnapshots computes the typed stanza changes between two successive
+// snapshots, memoized per text pair (memory tier only: diffs are cheap to
+// recompute from the cached parses, so they do not earn disk files).
+func (e *Engine) diffSnapshots(dialect, oldText, newText string, oldCfg, newCfg *confmodel.Config) []confdiff.StanzaChange {
+	if e.diffCache == nil {
+		return confdiff.Diff(oldCfg, newCfg)
+	}
+	key := cache.KeyOf("confdiff/v1", dialect, oldText, newText)
+	diff, _ := cache.GetOrCompute(e.diffCache, key, cache.Codec[[]confdiff.StanzaChange]{},
+		func() ([]confdiff.StanzaChange, error) { return confdiff.Diff(oldCfg, newCfg), nil })
+	return diff
+}
+
+// networkKey digests everything the network's month analyses depend on:
+// the grouping threshold, the window, the device records, every snapshot's
+// time, login, and full text, and the automation-account set.
+func (e *Engine) networkKey(nw *netmodel.Network, window []months.Month) cache.Key {
+	h := cache.NewHasher("practices/v1")
+	h.Int(int64(e.delta))
+	h.String(nw.Name)
+	h.Int(int64(len(window)))
+	for _, m := range window {
+		h.String(m.String())
+	}
+	for _, login := range e.arch.SpecialAccounts() {
+		h.String(login)
+	}
+	h.Int(int64(len(nw.Devices)))
+	for _, dev := range nw.Devices {
+		h.String(dev.Name).String(dev.Vendor.String()).String(dev.Model)
+		h.String(dev.Role.String()).String(dev.Firmware).String(dev.MgmtIP)
+		hist := e.arch.Snapshots(dev.Name)
+		h.Int(int64(len(hist)))
+		for _, snap := range hist {
+			h.Time(snap.Time).String(snap.Login).String(snap.Text)
+		}
+	}
+	return h.Sum()
+}
+
+// monthAnalysisCodec serializes a network's analyses for the disk tier.
+// JSON round-trips every field exactly: float64 via shortest-form
+// encoding, times via RFC3339 with nanoseconds.
+var monthAnalysisCodec = cache.Codec[[]MonthAnalysis]{
+	Encode: func(ma []MonthAnalysis) ([]byte, error) { return json.Marshal(ma) },
+	Decode: func(b []byte) ([]MonthAnalysis, error) {
+		var ma []MonthAnalysis
+		if err := json.Unmarshal(b, &ma); err != nil {
+			return nil, err
+		}
+		return ma, nil
+	},
+}
+
 // AnalyzeNetwork computes the metrics for every month of the window for
 // one network. It walks each device's snapshot stream exactly once,
 // parsing every snapshot a single time, and evaluates design metrics from
-// the live end-of-month configuration state.
+// the live end-of-month configuration state. With caching enabled, a
+// network whose inputs are unchanged is answered from the cache without
+// any parsing or diffing.
 func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnalysis, error) {
-	return e.analyzeNetwork(name, window, e.obs)
+	ma, _, err := e.analyzeNetwork(name, window, e.obs)
+	return ma, err
 }
 
-// analyzeNetwork is AnalyzeNetwork under an explicit parent span.
-func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.Span) ([]MonthAnalysis, error) {
+// analyzeNetwork is AnalyzeNetwork under an explicit parent span,
+// additionally returning the network's content key (zero when caching is
+// disabled).
+func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.Span) ([]MonthAnalysis, cache.Key, error) {
 	nw := e.inv.Network(name)
 	if nw == nil {
-		return nil, fmt.Errorf("practices: unknown network %q", name)
+		return nil, cache.Key{}, fmt.Errorf("practices: unknown network %q", name)
 	}
+	if e.netCache == nil {
+		ma, err := e.computeNetwork(nw, window, parent)
+		return ma, cache.Key{}, err
+	}
+	key := e.networkKey(nw, window)
+	ma, err := cache.GetOrCompute(e.netCache, key, monthAnalysisCodec,
+		func() ([]MonthAnalysis, error) { return e.computeNetwork(nw, window, parent) })
+	return ma, key, err
+}
+
+// computeNetwork runs the actual per-network inference.
+func (e *Engine) computeNetwork(nw *netmodel.Network, window []months.Month, parent *obs.Span) ([]MonthAnalysis, error) {
+	name := nw.Name
 	nsp := parent.Start(name)
 	defer nsp.End()
 
 	// Per-device cursor over the snapshot history.
 	type cursor struct {
-		dev   *netmodel.Device
-		hist  []*nms.Snapshot
-		pos   int               // next snapshot to consume
-		state *confmodel.Config // config as of consumed snapshots
+		dev      *netmodel.Device
+		hist     []*nms.Snapshot
+		pos      int               // next snapshot to consume
+		state    *confmodel.Config // config as of consumed snapshots
+		prevText string            // text of the snapshot state was parsed from
 	}
 	cursors := make([]*cursor, 0, len(nw.Devices))
 	for _, dev := range nw.Devices {
@@ -181,12 +310,12 @@ func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.
 					return nil, err
 				}
 				if cu.state == nil {
-					cu.state = cfg // baseline import, not a change
+					cu.state, cu.prevText = cfg, snap.Text // baseline import, not a change
 					continue
 				}
-				diff := confdiff.Diff(cu.state, cfg)
+				diff := e.diffSnapshots(e.dialect(cu.dev).Name(), cu.prevText, snap.Text, cu.state, cfg)
 				diffsComputed++
-				cu.state = cfg
+				cu.state, cu.prevText = cfg, snap.Text
 				if len(diff) == 0 {
 					continue // identical snapshot: no configuration change
 				}
@@ -194,9 +323,13 @@ func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.
 				if months.Of(snap.Time) != m {
 					continue
 				}
+				// Distinct types in deterministic order: the diff is sorted
+				// by type, so consecutive dedup suffices.
 				types := make([]confmodel.Type, 0, 2)
-				for t := range confdiff.Types(diff) {
-					types = append(types, t)
+				for _, ch := range diff {
+					if len(types) == 0 || types[len(types)-1] != ch.Type {
+						types = append(types, ch.Type)
+					}
 				}
 				changes = append(changes, ChangeDetail{
 					Device:    cu.dev.Name,
@@ -255,15 +388,27 @@ func (e *Engine) Analyze(window []months.Month) (map[string][]MonthAnalysis, err
 	sp := e.obs.Start("inference")
 	defer sp.End()
 	start := time.Now()
-	results, err := par.Map(e.workers, e.inv.Networks, func(_ int, nw *netmodel.Network) ([]MonthAnalysis, error) {
-		return e.analyzeNetwork(nw.Name, window, sp)
+	type netResult struct {
+		ma  []MonthAnalysis
+		key cache.Key
+	}
+	e.analysisKeyOK = false
+	results, err := par.Map(e.workers, e.inv.Networks, func(_ int, nw *netmodel.Network) (netResult, error) {
+		ma, key, err := e.analyzeNetwork(nw.Name, window, sp)
+		return netResult{ma: ma, key: key}, err
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][]MonthAnalysis, len(results))
-	for i, ma := range results {
-		out[e.inv.Networks[i].Name] = ma
+	keys := cache.NewHasher("practices-all/v1")
+	for i, r := range results {
+		out[e.inv.Networks[i].Name] = r.ma
+		keys.Key(r.key)
+	}
+	if e.netCache != nil {
+		e.analysisKey = keys.Sum()
+		e.analysisKeyOK = true
 	}
 	sp.Count("networks", float64(len(out)))
 	obs.Logger().Info("inference complete",

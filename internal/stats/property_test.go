@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mpa/internal/rng"
+)
+
+// randomInts draws n values over an alphabet of the given size, with a
+// skewed distribution so joint tables have both dense and sparse cells.
+func randomInts(r *rng.RNG, n, alphabet int) []int {
+	out := make([]int, n)
+	for i := range out {
+		if r.Bool(0.3) {
+			out[i] = 0 // heavy mass on one symbol, like healthy networks
+		} else {
+			out[i] = r.Intn(alphabet)
+		}
+	}
+	return out
+}
+
+// TestMutualInformationProperties checks the information-theoretic
+// identities MI must satisfy on arbitrary discrete data: non-negativity,
+// symmetry, the entropy upper bound, and MI(x,x) = H(x).
+func TestMutualInformationProperties(t *testing.T) {
+	r := rng.New(42)
+	for i := 0; i < 200; i++ {
+		n := r.IntBetween(2, 400)
+		xs := randomInts(r, n, r.IntBetween(2, 10))
+		ys := randomInts(r, n, r.IntBetween(2, 10))
+		mi := MutualInformation(xs, ys)
+		if mi < -1e-9 || math.IsNaN(mi) {
+			t.Fatalf("iteration %d: MI = %v, want >= 0", i, mi)
+		}
+		if rev := MutualInformation(ys, xs); math.Abs(mi-rev) > 1e-9 {
+			t.Fatalf("iteration %d: MI not symmetric: %v vs %v", i, mi, rev)
+		}
+		hx, hy := Entropy(xs), Entropy(ys)
+		if mi > math.Min(hx, hy)+1e-9 {
+			t.Fatalf("iteration %d: MI %v exceeds min entropy %v", i, mi, math.Min(hx, hy))
+		}
+		if self := MutualInformation(xs, xs); math.Abs(self-hx) > 1e-9 {
+			t.Fatalf("iteration %d: MI(x,x) = %v, want H(x) = %v", i, self, hx)
+		}
+	}
+}
+
+// TestConditionalMIProperties checks the identities of I(X1;X2|Y):
+// non-negativity, symmetry in X1 and X2, and the chain rule
+// I(X1; (X2,Y)) = I(X1; Y) + I(X1; X2 | Y) — which also bounds CMI by the
+// joint MI.
+func TestConditionalMIProperties(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 200; i++ {
+		n := r.IntBetween(2, 300)
+		a := r.IntBetween(2, 6)
+		x1 := randomInts(r, n, a)
+		x2 := randomInts(r, n, a)
+		ys := randomInts(r, n, r.IntBetween(2, 6))
+		cmi := ConditionalMutualInformation(x1, x2, ys)
+		if cmi < -1e-9 || math.IsNaN(cmi) {
+			t.Fatalf("iteration %d: CMI = %v, want >= 0", i, cmi)
+		}
+		if sym := ConditionalMutualInformation(x2, x1, ys); math.Abs(sym-cmi) > 1e-9 {
+			t.Fatalf("iteration %d: CMI not symmetric: %v vs %v", i, cmi, sym)
+		}
+		// Pack (x2, y) into one variable for the joint MI.
+		joint := make([]int, n)
+		for j := range joint {
+			joint[j] = x2[j]*16 + ys[j]
+		}
+		lhs := MutualInformation(x1, ys) + cmi
+		rhs := MutualInformation(x1, joint)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("iteration %d: chain rule broken: MI+CMI = %v, joint MI = %v", i, lhs, rhs)
+		}
+	}
+}
+
+// TestBinnerProperties checks the binning contract on arbitrary data:
+// every bin index is in range, values at or below the low anchor land in
+// bin 0, values at or above the high anchor land in the last bin, and
+// binning is monotone in the value.
+func TestBinnerProperties(t *testing.T) {
+	r := rng.New(99)
+	for i := 0; i < 200; i++ {
+		n := r.IntBetween(1, 500)
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = r.Normal(0, 100)
+		}
+		bins := r.IntBetween(2, 12)
+		b := NewBinner(vals, bins)
+		lo, hi := b.Bounds()
+		if hi < lo {
+			t.Fatalf("iteration %d: bounds inverted: [%v, %v]", i, lo, hi)
+		}
+		prev := -1
+		prevV := math.Inf(-1)
+		for _, v := range append([]float64{lo - 1, lo, (lo + hi) / 2, hi, hi + 1}, vals...) {
+			k := b.Bin(v)
+			if k < 0 || k >= bins {
+				t.Fatalf("iteration %d: bin(%v) = %d, want in [0, %d)", i, v, k, bins)
+			}
+			if v <= lo && k != 0 {
+				t.Fatalf("iteration %d: bin(%v) = %d below low anchor %v, want 0", i, v, k, lo)
+			}
+			if v >= hi && k != bins-1 {
+				t.Fatalf("iteration %d: bin(%v) = %d above high anchor %v, want %d", i, v, k, hi, bins-1)
+			}
+			if v >= prevV && k < prev && prevV != math.Inf(-1) {
+				t.Fatalf("iteration %d: binning not monotone: bin(%v)=%d after bin(%v)=%d",
+					i, v, k, prevV, prev)
+			}
+			// Only track monotonicity along the sorted probes above; the
+			// appended raw values arrive unsorted.
+			if v >= prevV {
+				prev, prevV = k, v
+			}
+		}
+	}
+}

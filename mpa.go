@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"mpa/internal/cache"
 	"mpa/internal/dataset"
 	"mpa/internal/experiments"
 	"mpa/internal/months"
@@ -78,6 +79,11 @@ type (
 	SyntheticParams = osp.Params
 	// HealthWeights is the synthetic ground-truth health model.
 	HealthWeights = osp.HealthWeights
+	// CacheConfig parameterizes the content-addressed pipeline cache
+	// (Config.Cache): an in-memory LRU tier plus an optional on-disk tier
+	// (Dir) that lets warm re-runs skip all unchanged per-network work.
+	// The zero value disables caching; caching never changes results.
+	CacheConfig = cache.Config
 )
 
 // MetricNames lists the 28 practice metrics (paper Table 1).
@@ -110,6 +116,11 @@ type Config struct {
 	// whatever par.SetDefaultWorkers / the CLIs' -workers flag set. Every
 	// result is byte-identical at every worker count.
 	Workers int
+	// Cache configures content-addressed memoization of the pipeline's
+	// pure stages (snapshot parsing, diffing, per-network inference, the
+	// dataset build). The zero value disables it. Results are
+	// byte-identical with the cache cold, warm, or disabled.
+	Cache CacheConfig
 }
 
 // DefaultConfig returns the paper-scale configuration: 850 networks over
@@ -173,7 +184,7 @@ type Framework struct {
 // NewSynthetic generates a synthetic organization and runs inference over
 // it. Identical configs produce identical frameworks.
 func NewSynthetic(cfg Config) (*Framework, error) {
-	env, err := experiments.NewEnv(cfg.params())
+	env, err := experiments.NewEnvCached(cfg.params(), cfg.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +194,14 @@ func NewSynthetic(cfg Config) (*Framework, error) {
 // New builds a framework over an organization's own data sources,
 // inferring practices for every month in [start, end].
 func New(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Month) (*Framework, error) {
+	return NewCached(inv, arch, tickets, start, end, CacheConfig{})
+}
+
+// NewCached is New with the content-addressed pipeline cache enabled per
+// cc: with an on-disk tier configured, re-analyzing an organization whose
+// data is largely unchanged (the common monitoring cadence) recomputes
+// only the networks whose inputs actually changed.
+func NewCached(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Month, cc CacheConfig) (*Framework, error) {
 	if inv == nil || arch == nil || tickets == nil {
 		return nil, fmt.Errorf("mpa: nil data source")
 	}
@@ -192,11 +211,13 @@ func New(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Month) (*
 	root := obs.NewRoot("pipeline")
 	engine := practices.NewEngine(inv, arch)
 	engine.SetObs(root)
+	engine.SetCache(cc)
 	window := months.Range(start, end)
 	analysis, err := engine.Analyze(window)
 	if err != nil {
 		return nil, err
 	}
+	upstream, haveKey := engine.AnalysisKey()
 	env := &experiments.Env{
 		Params: osp.Params{
 			Start: start,
@@ -208,7 +229,7 @@ func New(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Month) (*
 			Tickets:   tickets,
 		},
 		Analysis: analysis,
-		Data:     dataset.BuildObs(analysis, tickets, root),
+		Data:     dataset.BuildCached(analysis, tickets, root, cache.New("dataset", cc), upstream, haveKey),
 		Obs:      root,
 	}
 	env.OSP.Params = env.Params
