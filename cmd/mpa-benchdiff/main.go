@@ -1,0 +1,282 @@
+// Command mpa-benchdiff is the repository's performance-regression
+// gate: it compares two recorded performance baselines and exits
+// non-zero when the new one regresses beyond a noise threshold, so the
+// bench trajectory is enforced rather than decorative.
+//
+// Usage:
+//
+//	mpa-benchdiff [-ns-threshold 0.08] [-alloc-threshold 0.02] OLD NEW
+//
+// OLD and NEW are either bench baselines written by scripts/bench.sh
+// (BENCH_<date>.json: one JSON object per line with ns_per_op /
+// allocs_per_op) or run manifests written by `-manifest`
+// (mpa.run-manifest/v1: per-stage wall_ns / alloc_bytes rollups). Both
+// files should be the same kind — stage names and benchmark names don't
+// overlap, so mixing kinds compares nothing.
+//
+// For every name present in both files the per-name medians are
+// compared. A regression is a relative increase beyond the threshold:
+// ±8% ns/op and ±2% allocs/op by default, tunable per CI runner noise
+// (the repository's single-core CI warns at the defaults and hard-fails
+// at 25%).
+//
+// Exit status: 0 when nothing regressed (improvements are reported but
+// never fail), 2 when at least one comparison regressed, 1 on bad
+// usage or unreadable input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mpa/internal/report"
+	"mpa/internal/runinfo"
+)
+
+func main() {
+	nsThr := flag.Float64("ns-threshold", 0.08, "relative ns/op increase treated as regression")
+	allocThr := flag.Float64("alloc-threshold", 0.02, "relative allocs/op increase treated as regression")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mpa-benchdiff [-ns-threshold F] [-alloc-threshold F] OLD NEW")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	oldS, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newS, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	rows, regressed := compare(medians(oldS), medians(newS), *nsThr, *allocThr)
+	fmt.Print(render(rows))
+	if regressed {
+		fmt.Printf("\nFAIL: regression beyond ±%.0f%% ns/op or ±%.0f%% allocs/op\n",
+			*nsThr*100, *allocThr*100)
+		os.Exit(2)
+	}
+	fmt.Println("\nOK: no regression beyond thresholds")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpa-benchdiff:", err)
+	os.Exit(1)
+}
+
+// sample is one performance observation of a named unit: a benchmark
+// iteration batch, or a manifest stage rollup normalized per call.
+type sample struct {
+	ns     float64 // wall nanoseconds per operation
+	allocs float64 // allocations (bench) or bytes (manifest) per operation
+}
+
+// benchRecord is one line of a scripts/bench.sh baseline.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// load reads either baseline format into name → samples. Run manifests
+// are detected by their schema marker; anything else must parse as
+// bench JSON lines.
+func load(path string) (map[string][]sample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isManifest(data) {
+		m, err := runinfo.Read(path)
+		if err != nil {
+			return nil, err
+		}
+		return manifestSamples(m), nil
+	}
+	return benchSamples(path, data)
+}
+
+// isManifest sniffs for the run-manifest schema marker in a whole-file
+// JSON object.
+func isManifest(data []byte) bool {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	return json.Unmarshal(data, &probe) == nil && probe.Schema == runinfo.Schema
+}
+
+// manifestSamples turns stage rollups into per-call samples.
+func manifestSamples(m *runinfo.Manifest) map[string][]sample {
+	out := make(map[string][]sample, len(m.Stages))
+	for _, st := range m.Stages {
+		calls := float64(st.Calls)
+		out[st.Name] = append(out[st.Name], sample{
+			ns:     float64(st.WallNS) / calls,
+			allocs: float64(st.AllocBytes) / calls,
+		})
+	}
+	return out
+}
+
+// benchSamples parses bench.sh JSON lines.
+func benchSamples(path string, data []byte) (map[string][]sample, error) {
+	out := map[string][]sample{}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec benchRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("%s:%d: not a bench record: %w", path, line, err)
+		}
+		if rec.Name == "" {
+			return nil, fmt.Errorf("%s:%d: bench record without a name", path, line)
+		}
+		out[rec.Name] = append(out[rec.Name], sample{ns: rec.NsPerOp, allocs: rec.AllocsPerOp})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return out, nil
+}
+
+// stat is the per-name median of a sample series.
+type stat struct {
+	ns, allocs float64
+	n          int
+}
+
+// medians collapses each name's samples to their medians — the robust
+// center bench comparisons want, since timing noise is one-sided.
+func medians(s map[string][]sample) map[string]stat {
+	out := make(map[string]stat, len(s))
+	for name, samples := range s {
+		ns := make([]float64, len(samples))
+		al := make([]float64, len(samples))
+		for i, sm := range samples {
+			ns[i], al[i] = sm.ns, sm.allocs
+		}
+		out[name] = stat{ns: median(ns), allocs: median(al), n: len(samples)}
+	}
+	return out
+}
+
+// median returns the middle value (mean of the two middles for even n).
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// row is one rendered comparison.
+type row struct {
+	name             string
+	oldNS, newNS     float64
+	dNS, dAllocs     float64 // relative deltas; NaN-free (0 when old is 0)
+	verdict          string
+	regressed        bool
+	onlyOld, onlyNew bool
+}
+
+// compare builds per-name comparison rows in sorted name order and
+// reports whether anything regressed beyond the thresholds. Names
+// present in only one input are listed but never count as regressions.
+func compare(oldM, newM map[string]stat, nsThr, allocThr float64) ([]row, bool) {
+	names := map[string]bool{}
+	for n := range oldM {
+		names[n] = true
+	}
+	for n := range newM {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var rows []row
+	anyRegressed := false
+	for _, name := range sorted {
+		o, haveOld := oldM[name]
+		n, haveNew := newM[name]
+		r := row{name: name, oldNS: o.ns, newNS: n.ns}
+		switch {
+		case !haveOld:
+			r.verdict, r.onlyNew = "only in new", true
+		case !haveNew:
+			r.verdict, r.onlyOld = "only in old", true
+		default:
+			r.dNS = rel(o.ns, n.ns)
+			r.dAllocs = rel(o.allocs, n.allocs)
+			switch {
+			case r.dNS > nsThr || r.dAllocs > allocThr:
+				r.verdict, r.regressed = "REGRESSION", true
+				anyRegressed = true
+			case r.dNS < -nsThr:
+				r.verdict = "improved"
+			default:
+				r.verdict = "ok"
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, anyRegressed
+}
+
+// rel is the relative delta (new-old)/old, 0 when old is 0.
+func rel(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// render draws the comparison table.
+func render(rows []row) string {
+	tb := report.NewTable("Benchmark", "Old ns/op", "New ns/op", "Δns", "Δallocs", "Verdict")
+	for _, r := range rows {
+		if r.onlyOld || r.onlyNew {
+			tb.AddRow(r.name, cell(r.onlyNew, r.oldNS), cell(r.onlyOld, r.newNS), "-", "-", r.verdict)
+			continue
+		}
+		tb.AddRow(r.name,
+			fmt.Sprintf("%.0f", r.oldNS), fmt.Sprintf("%.0f", r.newNS),
+			fmt.Sprintf("%+.1f%%", r.dNS*100), fmt.Sprintf("%+.1f%%", r.dAllocs*100),
+			r.verdict)
+	}
+	return tb.String()
+}
+
+// cell renders a ns value, or "-" when that side is missing.
+func cell(missing bool, v float64) string {
+	if missing {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

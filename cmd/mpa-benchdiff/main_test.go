@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpa/internal/runinfo"
+)
+
+// benchFile writes a bench.sh-style JSON-lines baseline.
+func benchFile(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const (
+	recA1 = `{"date":"2026-08-05T00:00:00Z","gomaxprocs":1,"name":"BenchmarkInference","iterations":2,"ns_per_op":1000,"bytes_per_op":10,"allocs_per_op":100}`
+	recA2 = `{"date":"2026-08-05T00:00:00Z","gomaxprocs":1,"name":"BenchmarkInference","iterations":2,"ns_per_op":1100,"bytes_per_op":10,"allocs_per_op":100}`
+	recA3 = `{"date":"2026-08-05T00:00:00Z","gomaxprocs":1,"name":"BenchmarkInference","iterations":2,"ns_per_op":900,"bytes_per_op":10,"allocs_per_op":100}`
+)
+
+func TestLoadBenchLines(t *testing.T) {
+	path := benchFile(t, "bench.json", recA1, recA2, "", recA3)
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s["BenchmarkInference"]); got != 3 {
+		t.Fatalf("loaded %d samples, want 3", got)
+	}
+	m := medians(s)["BenchmarkInference"]
+	if m.ns != 1000 || m.allocs != 100 {
+		t.Errorf("median = %+v, want ns=1000 allocs=100", m)
+	}
+}
+
+func TestLoadManifest(t *testing.T) {
+	m := runinfo.New()
+	m.Stages = []runinfo.Stage{
+		{Name: "inference", Calls: 2, WallNS: 2000, AllocBytes: 600},
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s["inference"]
+	if len(got) != 1 || got[0].ns != 1000 || got[0].allocs != 300 {
+		t.Errorf("manifest samples = %+v, want one per-call sample ns=1000 allocs=300", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := benchFile(t, "junk.json", "not json at all")
+	if _, err := load(path); err == nil {
+		t.Fatal("load accepted garbage")
+	}
+	empty := benchFile(t, "empty.json", "")
+	if _, err := load(empty); err == nil {
+		t.Fatal("load accepted an empty baseline")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if got := median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+}
+
+// gate runs compare on two single-sample series with default thresholds.
+func gate(t *testing.T, oldNS, newNS, oldAllocs, newAllocs float64) ([]row, bool) {
+	t.Helper()
+	oldM := map[string]stat{"b": {ns: oldNS, allocs: oldAllocs, n: 1}}
+	newM := map[string]stat{"b": {ns: newNS, allocs: newAllocs, n: 1}}
+	return compare(oldM, newM, 0.08, 0.02)
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	rows, regressed := gate(t, 1000, 1000, 100, 100)
+	if regressed {
+		t.Fatal("identical inputs flagged as regression")
+	}
+	if rows[0].verdict != "ok" {
+		t.Errorf("verdict = %q, want ok", rows[0].verdict)
+	}
+}
+
+func TestCompareDetectsNSRegression(t *testing.T) {
+	// The acceptance scenario: a synthetic 20% slowdown must gate.
+	rows, regressed := gate(t, 1000, 1200, 100, 100)
+	if !regressed {
+		t.Fatal("20% ns regression not flagged")
+	}
+	if rows[0].verdict != "REGRESSION" {
+		t.Errorf("verdict = %q, want REGRESSION", rows[0].verdict)
+	}
+}
+
+func TestCompareNoiseWithinThresholdPasses(t *testing.T) {
+	if _, regressed := gate(t, 1000, 1070, 100, 100); regressed {
+		t.Fatal("7% ns delta flagged despite 8% threshold")
+	}
+}
+
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	// Allocs are nearly deterministic, so the threshold is much tighter.
+	if _, regressed := gate(t, 1000, 1000, 100, 103); !regressed {
+		t.Fatal("3% alloc regression not flagged at 2% threshold")
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	rows, regressed := gate(t, 1000, 700, 100, 90)
+	if regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+	if rows[0].verdict != "improved" {
+		t.Errorf("verdict = %q, want improved", rows[0].verdict)
+	}
+}
+
+func TestCompareDisjointNamesNeverFail(t *testing.T) {
+	oldM := map[string]stat{"gone": {ns: 1, allocs: 1, n: 1}}
+	newM := map[string]stat{"fresh": {ns: 1, allocs: 1, n: 1}}
+	rows, regressed := compare(oldM, newM, 0.08, 0.02)
+	if regressed {
+		t.Fatal("disjoint names treated as regression")
+	}
+	verdicts := map[string]string{}
+	for _, r := range rows {
+		verdicts[r.name] = r.verdict
+	}
+	if verdicts["gone"] != "only in old" || verdicts["fresh"] != "only in new" {
+		t.Errorf("verdicts = %v", verdicts)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	rows, _ := gate(t, 1000, 1200, 100, 100)
+	out := render(rows)
+	for _, want := range []string{"Benchmark", "b", "+20.0%", "REGRESSION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -23,9 +23,13 @@
 // cache cold, warm, or disabled (-cache=false); hit/miss/evict counters
 // appear under "cache.*" in /debug/vars and the stats breakdown.
 //
-// The observability flags of cmd/mpa (-v, -vv, -cpuprofile, -memprofile,
-// -trace, -debug-addr) are available here too; progress lines go to the
-// structured logger, so pass -v to see them.
+// The observability flags of cmd/mpa (-v, -vv, -progress, -cpuprofile,
+// -memprofile, -trace, -manifest, -debug-addr) are available here too.
+// -progress renders a live per-stage completion line on stderr;
+// -manifest writes a run-manifest JSON on exit (build info, config,
+// per-stage rollups, the metric registry, and a SHA-256 digest of every
+// experiment report) that cmd/mpa-benchdiff can compare across runs;
+// -debug-addr additionally serves Prometheus text-format /metrics.
 package main
 
 import (
@@ -113,6 +117,16 @@ func main() {
 	obs.Logger().Info("experiments complete",
 		"count", len(ids), "elapsed", time.Since(t1).Round(time.Millisecond).String())
 
+	if obsFlags.ManifestPath != "" {
+		m := f.Manifest()
+		m.Config.Extra = map[string]string{"command": "mpa-experiments", "scale": *scale}
+		if err := m.Write(obsFlags.ManifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "mpa-experiments:", err)
+			os.Exit(1)
+		}
+		obs.Logger().Info("manifest written", "path", obsFlags.ManifestPath,
+			"stages", len(m.Stages), "reports", len(m.Reports))
+	}
 	if err := obsFlags.Stop(f.WriteTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "mpa-experiments:", err)
 		os.Exit(1)

@@ -41,10 +41,15 @@
 // Observability flags (shared with mpa-experiments):
 //
 //	-v, -vv            structured stage logs to stderr (info / debug)
+//	-progress          live stage progress line on stderr
 //	-cpuprofile FILE   CPU profile (runtime/pprof)
 //	-memprofile FILE   heap profile on exit
 //	-trace FILE        Chrome trace-event JSON of the pipeline span tree
-//	-debug-addr ADDR   serve /debug/pprof and /debug/vars over HTTP
+//	-manifest FILE     run-manifest JSON on exit (build info, config,
+//	                   stage rollups, metrics, report digests); compare
+//	                   runs with cmd/mpa-benchdiff
+//	-debug-addr ADDR   serve /debug/pprof, /debug/vars, and Prometheus
+//	                   /metrics over HTTP
 package main
 
 import (
@@ -218,6 +223,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if obsFlags.ManifestPath != "" {
+		m := f.Manifest()
+		m.Config.Extra = map[string]string{"command": "mpa " + cmd}
+		if err := m.Write(obsFlags.ManifestPath); err != nil {
+			fatal(err)
+		}
+	}
 	if err := obsFlags.Stop(f.WriteTrace); err != nil {
 		fatal(err)
 	}

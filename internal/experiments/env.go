@@ -6,8 +6,12 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"mpa/internal/cache"
 	"mpa/internal/dataset"
@@ -29,6 +33,34 @@ type Env struct {
 	// experiment run adds its own child. Nil on hand-assembled Envs —
 	// all instrumentation degrades to no-ops.
 	Obs *obs.Span
+
+	// digests records the SHA-256 of every report produced through Run,
+	// keyed by experiment ID, for the run manifest. Run executes
+	// concurrently under RunAll, hence the lock.
+	digestMu sync.Mutex
+	digests  map[string]string
+}
+
+// recordDigest stores r's digest under id.
+func (e *Env) recordDigest(id string, r Report) {
+	e.digestMu.Lock()
+	defer e.digestMu.Unlock()
+	if e.digests == nil {
+		e.digests = make(map[string]string, 24)
+	}
+	e.digests[id] = r.Digest()
+}
+
+// ReportDigests returns a copy of the digests of every experiment run
+// so far (manifest report_digests).
+func (e *Env) ReportDigests() map[string]string {
+	e.digestMu.Lock()
+	defer e.digestMu.Unlock()
+	out := make(map[string]string, len(e.digests))
+	for id, d := range e.digests {
+		out[id] = d
+	}
+	return out
 }
 
 // NewEnv generates an OSP, runs practice inference over the full study
@@ -84,6 +116,33 @@ type Report struct {
 	Numbers map[string]float64
 }
 
+// Digest returns the SHA-256 hex digest of the report's full content —
+// ID, title, rendered text, and the key numbers in sorted order. Fields
+// are length-framed so no two distinct reports collide by field
+// shifting. A deterministic pipeline must produce byte-identical
+// digests for identical configs; run manifests record them so two runs
+// can be diffed.
+func (r Report) Digest() string {
+	h := sha256.New()
+	frame := func(s string) {
+		fmt.Fprintf(h, "%d:", len(s))
+		h.Write([]byte(s))
+	}
+	frame(r.ID)
+	frame(r.Title)
+	frame(r.Text)
+	keys := make([]string, 0, len(r.Numbers))
+	for k := range r.Numbers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		frame(k)
+		frame(strconv.FormatFloat(r.Numbers[k], 'g', -1, 64))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Runner executes one experiment against an Env.
 type Runner func(*Env) Report
 
@@ -131,6 +190,7 @@ func Run(env *Env, id string) (Report, bool) {
 			sp := env.Obs.Start("experiment:" + id)
 			r := entry.Run(env)
 			sp.End()
+			env.recordDigest(id, r)
 			obs.GetCounter("experiments.runs").Add(1)
 			obs.Logger().Debug("experiment complete", "id", id, "elapsed", sp.Duration())
 			return r, true
@@ -156,10 +216,13 @@ func RunAll(env *Env, ids []string, workers int) []RunResult {
 	if ids == nil {
 		ids = IDs()
 	}
+	pt := obs.StartProgress("experiments", int64(len(ids)))
 	out, _ := par.Map(workers, ids, func(_ int, id string) (RunResult, error) {
 		r, ok := Run(env, id)
+		pt.Add(1)
 		return RunResult{ID: id, Report: r, OK: ok}, nil
 	})
+	pt.Done()
 	return out
 }
 

@@ -27,6 +27,7 @@ func CrossValidate(X [][]int, y []int, classes, k int, train Trainer, r *rng.RNG
 		ev Evaluation
 		ok bool
 	}
+	pt := obs.StartProgress("cv", int64(k))
 	evals, _ := par.Map(0, make([]struct{}, k), func(f int, _ struct{}) (foldEval, error) {
 		var trX, teX [][]int
 		var trY, teY []int
@@ -40,6 +41,7 @@ func CrossValidate(X [][]int, y []int, classes, k int, train Trainer, r *rng.RNG
 			}
 		}
 		if len(teY) == 0 || len(trY) == 0 {
+			pt.Add(1)
 			return foldEval{}, nil
 		}
 		clf := train(trX, trY)
@@ -48,8 +50,10 @@ func CrossValidate(X [][]int, y []int, classes, k int, train Trainer, r *rng.RNG
 			pred[i] = clf.Predict(teX[i])
 		}
 		obs.GetCounter("ml.cv_folds").Add(1)
+		pt.Add(1)
 		return foldEval{ev: Evaluate(pred, teY, classes), ok: true}, nil
 	})
+	pt.Done()
 	pooled := make([]Evaluation, 0, k)
 	for _, fe := range evals {
 		if fe.ok {

@@ -10,22 +10,32 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
-// Flags is the shared observability CLI surface: verbosity, CPU and heap
-// profiles, Chrome trace output, and a debug HTTP server exposing
-// net/http/pprof and expvar. Commands embed it, Register it on their
-// FlagSet, call Start after parsing, and Stop on the way out.
+// Flags is the shared observability CLI surface: verbosity, live
+// progress, CPU and heap profiles, Chrome trace output, the run-manifest
+// path, and a debug HTTP server exposing net/http/pprof, expvar, and
+// Prometheus /metrics. Commands embed it, Register it on their FlagSet,
+// call Start after parsing, and Stop on the way out. Keeping the wiring
+// here is what guarantees cmd/mpa and cmd/mpa-experiments stay
+// flag-compatible.
 type Flags struct {
 	// Verbose raises logging to info; VeryVerbose to debug.
 	Verbose     bool
 	VeryVerbose bool
+	// Progress enables the live stderr progress line.
+	Progress bool
 	// CPUProfile and MemProfile name runtime/pprof output files.
 	CPUProfile string
 	MemProfile string
 	// TracePath names the Chrome trace-event JSON output file.
 	TracePath string
-	// DebugAddr, when non-empty, serves /debug/pprof and /debug/vars.
+	// ManifestPath names the run-manifest JSON output file; the command
+	// writes it on the way out (internal/runinfo holds the schema).
+	ManifestPath string
+	// DebugAddr, when non-empty, serves /debug/pprof, /debug/vars, and
+	// /metrics.
 	DebugAddr string
 
 	cpuFile *os.File
@@ -35,11 +45,19 @@ type Flags struct {
 func (p *Flags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&p.Verbose, "v", false, "log pipeline stages to stderr (info level)")
 	fs.BoolVar(&p.VeryVerbose, "vv", false, "log per-network/per-month detail to stderr (debug level)")
+	fs.BoolVar(&p.Progress, "progress", false, "render live stage progress on stderr")
 	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
 	fs.StringVar(&p.TracePath, "trace", "", "write Chrome trace-event JSON to `file` on exit")
-	fs.StringVar(&p.DebugAddr, "debug-addr", "", "serve /debug/pprof and /debug/vars on `addr` (e.g. localhost:6060)")
+	fs.StringVar(&p.ManifestPath, "manifest", "", "write a run-manifest JSON (build info, config, stage rollups, report digests) to `file` on exit")
+	fs.StringVar(&p.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars, and /metrics on `addr` (e.g. localhost:6060)")
 }
+
+// registerMetricsHandler puts /metrics on the default mux exactly once
+// (the debug server serves the default mux, like /debug/pprof).
+var registerMetricsHandler = sync.OnceFunc(func() {
+	http.Handle("/metrics", PromHandler())
+})
 
 // Start applies the verbosity, begins CPU profiling, and launches the
 // debug server. It returns an error when a profile file cannot be created
@@ -50,6 +68,9 @@ func (p *Flags) Start() error {
 		SetVerbosity(2)
 	case p.Verbose:
 		SetVerbosity(1)
+	}
+	if p.Progress {
+		EnableProgress()
 	}
 	if p.CPUProfile != "" {
 		f, err := os.Create(p.CPUProfile)
@@ -63,6 +84,7 @@ func (p *Flags) Start() error {
 		p.cpuFile = f
 	}
 	if p.DebugAddr != "" {
+		registerMetricsHandler()
 		ln, err := net.Listen("tcp", p.DebugAddr)
 		if err != nil {
 			return fmt.Errorf("obs: debug-addr: %w", err)

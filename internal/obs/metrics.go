@@ -175,25 +175,35 @@ func GetHistogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
-// exportAll renders the registry for expvar (`/debug/vars` → "mpa").
-func exportAll() any {
+// MetricsSnapshot is a point-in-time copy of the whole metric registry,
+// consumed by the expvar export, the Prometheus exposition handler, and
+// run manifests (internal/runinfo).
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// SnapshotMetrics copies every registered counter, gauge, and histogram.
+func SnapshotMetrics() MetricsSnapshot {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	counters := make(map[string]int64, len(registry.counters))
+	snap := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(registry.counters)),
+		Gauges:     make(map[string]float64, len(registry.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(registry.hists)),
+	}
 	for name, c := range registry.counters {
-		counters[name] = c.Value()
+		snap.Counters[name] = c.Value()
 	}
-	gauges := make(map[string]float64, len(registry.gauges))
 	for name, g := range registry.gauges {
-		gauges[name] = g.Value()
+		snap.Gauges[name] = g.Value()
 	}
-	hists := make(map[string]HistogramSnapshot, len(registry.hists))
 	for name, h := range registry.hists {
-		hists[name] = h.Snapshot()
+		snap.Histograms[name] = h.Snapshot()
 	}
-	return map[string]any{
-		"counters":   counters,
-		"gauges":     gauges,
-		"histograms": hists,
-	}
+	return snap
 }
+
+// exportAll renders the registry for expvar (`/debug/vars` → "mpa").
+func exportAll() any { return SnapshotMetrics() }

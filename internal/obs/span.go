@@ -51,16 +51,20 @@ func (s *Span) Name() string {
 
 // Start opens a child span. On a nil receiver it returns nil, which keeps
 // the whole downstream instrumentation free.
+//
+// The start timestamp is taken under the parent's lock, so a span's
+// children are ordered by start time even when they are started from
+// concurrent goroutines — trace exports rely on this monotonicity.
 func (s *Span) Start(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	child := &Span{
 		name:       name,
-		start:      time.Now(),
 		startAlloc: heapAllocBytes(),
 	}
 	s.mu.Lock()
+	child.start = time.Now()
 	s.children = append(s.children, child)
 	s.mu.Unlock()
 	return child

@@ -118,9 +118,13 @@ func GenerateObs(p Params, parent *obs.Span) *OSP {
 		streams[idx] = netStreams{r: r, tickets: r.Fork(0x71c7)}
 	}
 
+	pt := obs.StartProgress("generate", int64(p.Networks))
 	results, _ := par.Map(p.Workers, streams, func(idx int, ns netStreams) (*netResult, error) {
-		return generateNetwork(p, idx, ns, window, sp, log), nil
+		res := generateNetwork(p, idx, ns, window, sp, log)
+		pt.Add(1)
+		return res, nil
 	})
+	pt.Done()
 
 	// Merge in network-index order — the exact order the sequential loop
 	// appended inventory entries and filed tickets in.

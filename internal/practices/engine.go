@@ -393,10 +393,13 @@ func (e *Engine) Analyze(window []months.Month) (map[string][]MonthAnalysis, err
 		key cache.Key
 	}
 	e.analysisKeyOK = false
+	pt := obs.StartProgress("inference", int64(len(e.inv.Networks)))
 	results, err := par.Map(e.workers, e.inv.Networks, func(_ int, nw *netmodel.Network) (netResult, error) {
 		ma, key, err := e.analyzeNetwork(nw.Name, window, sp)
+		pt.Add(1)
 		return netResult{ma: ma, key: key}, err
 	})
+	pt.Done()
 	if err != nil {
 		return nil, err
 	}

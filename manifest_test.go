@@ -1,0 +1,120 @@
+package mpa
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpa/internal/runinfo"
+)
+
+// smallManifestFramework builds a tiny framework and runs a few
+// experiments so the manifest has stage rollups and report digests.
+func smallManifestFramework(t *testing.T, seed uint64) *Framework {
+	t.Helper()
+	cfg := SmallConfig(seed)
+	cfg.Networks = 12
+	cfg.Cache = CacheConfig{Enabled: true} // the CLI default; registers cache.* counters
+	f, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table2", "table3", "figure2"} {
+		if _, ok := f.Experiment(id); !ok {
+			t.Fatalf("experiment %s unknown", id)
+		}
+	}
+	return f
+}
+
+func TestManifestContents(t *testing.T) {
+	f := smallManifestFramework(t, 5)
+	m := f.Manifest()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if m.Config.Seed != 5 || m.Config.Networks != 12 {
+		t.Errorf("config not recorded: %+v", m.Config)
+	}
+	if m.TotalWallNS <= 0 {
+		t.Errorf("total_wall_ns = %d, want > 0", m.TotalWallNS)
+	}
+
+	// The pipeline stages (generate, inference, dataset.build) and every
+	// experiment run must appear as rollups with real durations.
+	stages := map[string]runinfo.Stage{}
+	for _, st := range m.Stages {
+		stages[st.Name] = st
+	}
+	for _, want := range []string{
+		"generate", "inference", "dataset.build",
+		"experiment:table2", "experiment:table3", "experiment:figure2",
+	} {
+		st, ok := stages[want]
+		if !ok {
+			t.Errorf("stage %q missing from manifest", want)
+			continue
+		}
+		if st.Calls < 1 || st.WallNS <= 0 {
+			t.Errorf("stage %q rollup empty: %+v", want, st)
+		}
+	}
+	if st := stages["generate"]; st.Counters["networks"] != 12 {
+		t.Errorf("generate counters not rolled up: %+v", st.Counters)
+	}
+
+	// The registry snapshot must include the cache hit/miss counter
+	// family.
+	for _, name := range []string{"cache.practices.mem_hits", "cache.practices.mem_misses"} {
+		if _, ok := m.Metrics.Counters[name]; !ok {
+			t.Errorf("counter %q missing from the manifest metrics snapshot", name)
+		}
+	}
+
+	if len(m.Reports) != 3 {
+		t.Errorf("report digests = %d, want 3: %v", len(m.Reports), m.Reports)
+	}
+}
+
+// TestManifestDigestsStable: two identical runs must produce
+// byte-identical report digests (the manifest's diffability guarantee).
+func TestManifestDigestsStable(t *testing.T) {
+	a := smallManifestFramework(t, 5).Manifest()
+	b := smallManifestFramework(t, 5).Manifest()
+	if len(a.Reports) == 0 {
+		t.Fatal("no report digests recorded")
+	}
+	for id, da := range a.Reports {
+		if db := b.Reports[id]; da != db {
+			t.Errorf("digest of %s differs across identical runs:\n  %s\n  %s", id, da, db)
+		}
+	}
+
+	c := smallManifestFramework(t, 6).Manifest()
+	same := 0
+	for id, da := range a.Reports {
+		if c.Reports[id] == da {
+			same++
+		}
+	}
+	if same == len(a.Reports) {
+		t.Error("digests identical across different seeds — digest is not content-sensitive")
+	}
+}
+
+func TestWriteManifest(t *testing.T) {
+	f := smallManifestFramework(t, 7)
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := f.WriteManifest(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := runinfo.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stages) < 4 {
+		t.Errorf("written manifest has %d stages, want >= 4", len(m.Stages))
+	}
+	if m.Build.GoVersion == "" {
+		t.Error("build info missing from written manifest")
+	}
+}

@@ -179,6 +179,7 @@ func (c Config) params() osp.Params {
 // Framework is an MPA instance bound to one organization's data.
 type Framework struct {
 	env *experiments.Env
+	cfg Config // the run's settings, recorded in manifests
 }
 
 // NewSynthetic generates a synthetic organization and runs inference over
@@ -188,7 +189,7 @@ func NewSynthetic(cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{env: env}, nil
+	return &Framework{env: env, cfg: cfg}, nil
 }
 
 // New builds a framework over an organization's own data sources,
@@ -233,7 +234,12 @@ func NewCached(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Mon
 		Obs:      root,
 	}
 	env.OSP.Params = env.Params
-	return &Framework{env: env}, nil
+	return &Framework{env: env, cfg: Config{
+		Networks: len(inv.Networks),
+		Start:    start,
+		End:      end,
+		Cache:    cc,
+	}}, nil
 }
 
 // Dataset returns the case matrix (one case per network-month).

@@ -9,6 +9,7 @@ import (
 
 	"mpa/internal/obs"
 	"mpa/internal/report"
+	"mpa/internal/runinfo"
 )
 
 // StageStat aggregates one pipeline stage's observability data. Stages
@@ -83,6 +84,48 @@ func (ps PipelineStats) Table() string {
 	fmt.Fprintf(&b, "\nPipeline age: %s across %d stage rows.\n",
 		formatDuration(ps.Total), len(ps.Stages))
 	return b.String()
+}
+
+// Manifest builds the run manifest for everything the framework has run
+// so far: build info, the run's config, the per-stage rollup of
+// PipelineStats, a snapshot of the process metric registry (including
+// the cache hit/miss counters), runtime/GC state, and the SHA-256
+// digest of every experiment report produced. Like PipelineStats, it
+// reflects the work done up to the call — build it last.
+func (f *Framework) Manifest() *runinfo.Manifest {
+	m := runinfo.New()
+	m.Config = runinfo.RunConfig{
+		Seed:            f.cfg.Seed,
+		Networks:        f.cfg.Networks,
+		WindowStart:     f.cfg.Start.String(),
+		WindowEnd:       f.cfg.End.String(),
+		Workers:         f.cfg.Workers,
+		CacheEnabled:    f.cfg.Cache.Enabled,
+		CacheDir:        f.cfg.Cache.Dir,
+		CacheMaxEntries: f.cfg.Cache.MaxEntries,
+	}
+	ps := f.PipelineStats()
+	m.TotalWallNS = int64(ps.Total)
+	m.Stages = make([]runinfo.Stage, 0, len(ps.Stages))
+	for _, st := range ps.Stages {
+		m.Stages = append(m.Stages, runinfo.Stage{
+			Name:       st.Name,
+			Calls:      st.Calls,
+			WallNS:     int64(st.Duration),
+			AllocBytes: st.AllocBytes,
+			Counters:   st.Counters,
+		})
+	}
+	if digests := f.env.ReportDigests(); len(digests) > 0 {
+		m.Reports = digests
+	}
+	return m
+}
+
+// WriteManifest writes the run manifest to path (the CLIs' -manifest
+// flag).
+func (f *Framework) WriteManifest(path string) error {
+	return f.Manifest().Write(path)
 }
 
 // WriteTrace writes the framework's span tree as Chrome trace-event JSON,

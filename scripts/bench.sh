@@ -16,14 +16,16 @@
 #
 # Benchmarks run at the process-default worker count (all CPUs). Set
 # MPA_BENCH_ARGS to pass extra go-test flags, e.g.
-# MPA_BENCH_ARGS='-cpuprofile cpu.out'.
+# MPA_BENCH_ARGS='-cpuprofile cpu.out'. Set MPA_BENCH_OUT to override
+# the output path (CI writes to a scratch file and gates it against
+# testdata/bench-baseline.json with cmd/mpa-benchdiff).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 count="${1:-10}"
 pattern='^(BenchmarkGenerate|BenchmarkInference|BenchmarkInferenceWarmCache|BenchmarkTable3|BenchmarkSection61)$'
-out="BENCH_$(date +%F).json"
+out="${MPA_BENCH_OUT:-BENCH_$(date +%F).json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
