@@ -20,9 +20,15 @@
 // (the repository's single-core CI warns at the defaults and hard-fails
 // at 25%).
 //
+// Names present in only one input are reported explicitly: a name that
+// appears only in NEW is informational (a freshly added benchmark has no
+// baseline yet), but a baseline name missing from NEW fails the gate — a
+// deleted or renamed benchmark must not silently vanish from regression
+// coverage.
+//
 // Exit status: 0 when nothing regressed (improvements are reported but
-// never fail), 2 when at least one comparison regressed, 1 on bad
-// usage or unreadable input.
+// never fail), 2 when at least one comparison regressed or a baseline
+// name is missing from NEW, 1 on bad usage or unreadable input.
 package main
 
 import (
@@ -62,8 +68,23 @@ func main() {
 
 	rows, regressed := compare(medians(oldS), medians(newS), *nsThr, *allocThr)
 	fmt.Print(render(rows))
+	var added, removed []string
+	for _, r := range rows {
+		switch {
+		case r.onlyNew:
+			added = append(added, r.name)
+		case r.onlyOld:
+			removed = append(removed, r.name)
+		}
+	}
+	if len(added) > 0 {
+		fmt.Printf("\nadded (no baseline yet): %s\n", strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Printf("\nremoved from new run (FAIL): %s\n", strings.Join(removed, ", "))
+	}
 	if regressed {
-		fmt.Printf("\nFAIL: regression beyond ±%.0f%% ns/op or ±%.0f%% allocs/op\n",
+		fmt.Printf("\nFAIL: regression beyond ±%.0f%% ns/op or ±%.0f%% allocs/op, or baseline name missing from new run\n",
 			*nsThr*100, *allocThr*100)
 		os.Exit(2)
 	}
@@ -204,8 +225,10 @@ type row struct {
 }
 
 // compare builds per-name comparison rows in sorted name order and
-// reports whether anything regressed beyond the thresholds. Names
-// present in only one input are listed but never count as regressions.
+// reports whether anything regressed. Names present only in the new
+// input are listed but never fail; names present only in the old input
+// (the baseline) fail the gate — a benchmark that disappears must be an
+// explicit baseline refresh, not a silent coverage hole.
 func compare(oldM, newM map[string]stat, nsThr, allocThr float64) ([]row, bool) {
 	names := map[string]bool{}
 	for n := range oldM {
@@ -230,7 +253,8 @@ func compare(oldM, newM map[string]stat, nsThr, allocThr float64) ([]row, bool) 
 		case !haveOld:
 			r.verdict, r.onlyNew = "only in new", true
 		case !haveNew:
-			r.verdict, r.onlyOld = "only in old", true
+			r.verdict, r.onlyOld, r.regressed = "MISSING FROM NEW", true, true
+			anyRegressed = true
 		default:
 			r.dNS = rel(o.ns, n.ns)
 			r.dAllocs = rel(o.allocs, n.allocs)

@@ -131,19 +131,47 @@ func TestCompareImprovementNeverFails(t *testing.T) {
 	}
 }
 
-func TestCompareDisjointNamesNeverFail(t *testing.T) {
-	oldM := map[string]stat{"gone": {ns: 1, allocs: 1, n: 1}}
-	newM := map[string]stat{"fresh": {ns: 1, allocs: 1, n: 1}}
+func TestCompareAddedNameNeverFails(t *testing.T) {
+	// A benchmark that exists only in the new run has no baseline yet:
+	// informational, not a regression.
+	oldM := map[string]stat{"b": {ns: 1, allocs: 1, n: 1}}
+	newM := map[string]stat{"b": {ns: 1, allocs: 1, n: 1}, "fresh": {ns: 1, allocs: 1, n: 1}}
 	rows, regressed := compare(oldM, newM, 0.08, 0.02)
 	if regressed {
-		t.Fatal("disjoint names treated as regression")
+		t.Fatal("added name treated as regression")
 	}
-	verdicts := map[string]string{}
 	for _, r := range rows {
-		verdicts[r.name] = r.verdict
+		if r.name == "fresh" && (r.verdict != "only in new" || !r.onlyNew) {
+			t.Errorf("fresh row = %+v", r)
+		}
 	}
-	if verdicts["gone"] != "only in old" || verdicts["fresh"] != "only in new" {
-		t.Errorf("verdicts = %v", verdicts)
+}
+
+func TestCompareRemovedBaselineNameFails(t *testing.T) {
+	// Regression: a baseline name missing from the new run used to be
+	// listed as "only in old" and dropped from the gate, so deleting or
+	// renaming a benchmark silently removed its regression coverage. It
+	// must fail the comparison (exit 2 in main).
+	oldM := map[string]stat{"b": {ns: 1, allocs: 1, n: 1}, "gone": {ns: 1, allocs: 1, n: 1}}
+	newM := map[string]stat{"b": {ns: 1, allocs: 1, n: 1}}
+	rows, regressed := compare(oldM, newM, 0.08, 0.02)
+	if !regressed {
+		t.Fatal("baseline name missing from new run did not fail the gate")
+	}
+	found := false
+	for _, r := range rows {
+		if r.name == "gone" {
+			found = true
+			if !r.onlyOld || !r.regressed || r.verdict != "MISSING FROM NEW" {
+				t.Errorf("gone row = %+v", r)
+			}
+		}
+		if r.name == "b" && r.regressed {
+			t.Errorf("unchanged row flagged: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatal("removed name not reported in rows")
 	}
 }
 

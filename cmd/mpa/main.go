@@ -19,6 +19,8 @@
 //	report        per-network report card (-network)
 //	stats         run the main pipeline stages and print the per-stage
 //	              observability breakdown (time, allocs, counters)
+//	serve         load once and answer analysis queries over HTTP
+//	              (-addr, -max-inflight); see internal/serve
 //
 // Flags:
 //
@@ -37,6 +39,8 @@
 //	-cache-dir D   on-disk cache tier; warm re-runs with the same directory
 //	               skip all unchanged per-network work
 //	-cache-max N   max in-memory cache entries per pipeline stage
+//	-addr A        listen address for `serve` (default localhost:8080)
+//	-max-inflight N  concurrent query limit for `serve` (0 = 2×GOMAXPROCS)
 //
 // Observability flags (shared with mpa-experiments):
 //
@@ -53,15 +57,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mpa"
 	"mpa/internal/cache"
 	"mpa/internal/obs"
 	"mpa/internal/par"
+	"mpa/internal/serve"
 )
 
 func main() {
@@ -77,6 +85,8 @@ func main() {
 	cacheOn := flag.Bool("cache", true, "content-addressed caching of pure pipeline stages; results are identical either way")
 	cacheDir := flag.String("cache-dir", "", "on-disk cache tier directory (empty = in-memory only); warm re-runs skip unchanged per-network work")
 	cacheMax := flag.Int("cache-max", cache.DefaultMaxEntries, "max in-memory cache entries per pipeline stage")
+	addr := flag.String("addr", "localhost:8080", "listen address for the serve subcommand")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent query limit for serve (0 = 2×GOMAXPROCS)")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -207,6 +217,19 @@ func main() {
 		fmt.Println(r.Title)
 		fmt.Println(strings.Repeat("=", len(r.Title)))
 		fmt.Println(r.Text)
+	case "serve":
+		srv := serve.New(f, serve.Config{Addr: *addr, MaxInFlight: *maxInflight})
+		bound, err := srv.Listen()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mpa: serving on http://%s (SIGINT/SIGTERM to stop)\n", bound)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err = srv.Serve(ctx)
+		stop()
+		if err != nil {
+			fatal(err)
+		}
 	case "stats":
 		// Exercise the analysis stages beyond generation/inference/dataset
 		// (which ran in NewSynthetic), then print the per-stage breakdown.
@@ -246,7 +269,7 @@ func printExperiment(f *mpa.Framework, id string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mpa [flags] summary|rank|causal|predict|online|characterize|experiment|export|report|stats")
+	fmt.Fprintln(os.Stderr, "usage: mpa [flags] summary|rank|causal|predict|online|characterize|experiment|export|report|stats|serve")
 	flag.PrintDefaults()
 }
 

@@ -147,6 +147,7 @@ type Cache struct {
 	memHits, memMisses   *obs.Counter
 	diskHits, diskMisses *obs.Counter
 	evictions, diskErrs  *obs.Counter
+	diskCorrupt          *obs.Counter
 	memGetUS, diskGetMS  *obs.Histogram
 
 	stats struct {
@@ -174,17 +175,18 @@ func New(stage string, cfg Config) *Cache {
 		dir = filepath.Join(dir, stage)
 	}
 	return &Cache{
-		stage:      stage,
-		dir:        dir,
-		max:        max,
-		entries:    map[Key]*list.Element{},
-		ll:         list.New(),
-		memHits:    obs.GetCounter("cache." + stage + ".mem_hits"),
-		memMisses:  obs.GetCounter("cache." + stage + ".mem_misses"),
-		diskHits:   obs.GetCounter("cache." + stage + ".disk_hits"),
-		diskMisses: obs.GetCounter("cache." + stage + ".disk_misses"),
-		evictions:  obs.GetCounter("cache." + stage + ".evictions"),
-		diskErrs:   obs.GetCounter("cache." + stage + ".disk_errors"),
+		stage:       stage,
+		dir:         dir,
+		max:         max,
+		entries:     map[Key]*list.Element{},
+		ll:          list.New(),
+		memHits:     obs.GetCounter("cache." + stage + ".mem_hits"),
+		memMisses:   obs.GetCounter("cache." + stage + ".mem_misses"),
+		diskHits:    obs.GetCounter("cache." + stage + ".disk_hits"),
+		diskMisses:  obs.GetCounter("cache." + stage + ".disk_misses"),
+		evictions:   obs.GetCounter("cache." + stage + ".evictions"),
+		diskErrs:    obs.GetCounter("cache." + stage + ".disk_errors"),
+		diskCorrupt: obs.GetCounter("cache." + stage + ".disk_corrupt"),
 		memGetUS: obs.GetHistogram("cache."+stage+".mem_get_us",
 			0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100),
 		diskGetMS: obs.GetHistogram("cache."+stage+".disk_get_ms",
@@ -333,6 +335,19 @@ func (c *Cache) diskError(k Key, err error) {
 		"stage", c.stage, "key", k.Hex()[:12], "err", err)
 }
 
+// corruptEntry handles an undecodable disk entry (truncated by a crash or
+// a full disk, or written by an older format): the bad file is deleted so
+// every later warm run misses cleanly instead of re-reading and
+// re-failing, and the event is counted under "cache.<stage>.disk_corrupt".
+func (c *Cache) corruptEntry(k Key, err error) {
+	c.diskCorrupt.Add(1)
+	if rmErr := os.Remove(c.diskPath(k)); rmErr != nil && !os.IsNotExist(rmErr) {
+		c.diskError(k, rmErr)
+	}
+	obs.Logger().Warn("cache: deleted corrupt disk entry",
+		"stage", c.stage, "key", k.Hex()[:12], "err", err)
+}
+
 // Codec serializes values for the disk tier. A zero Codec (nil funcs)
 // keeps the value memory-only, which suits intermediate results that are
 // cheap to recompute from other cached stages (e.g. per-pair diffs).
@@ -344,7 +359,9 @@ type Codec[V any] struct {
 // GetOrCompute returns the cached value for k, consulting the memory tier
 // then the disk tier, computing and storing it on a full miss. A nil
 // cache calls compute directly. Decode failures (stale format, torn
-// entry) degrade to recomputation, never to an error.
+// entry) degrade to recomputation, never to an error; the corrupt file is
+// deleted (and re-written from the fresh computation) so one bad entry
+// cannot poison every subsequent warm run.
 func GetOrCompute[V any](c *Cache, k Key, codec Codec[V], compute func() (V, error)) (V, error) {
 	if c == nil {
 		return compute()
@@ -354,11 +371,12 @@ func GetOrCompute[V any](c *Cache, k Key, codec Codec[V], compute func() (V, err
 	}
 	if codec.Decode != nil {
 		if b, ok := c.GetBytes(k); ok {
-			if v, err := codec.Decode(b); err == nil {
+			v, derr := codec.Decode(b)
+			if derr == nil {
 				c.Put(k, v)
 				return v, nil
 			}
-			c.diskErrs.Add(1)
+			c.corruptEntry(k, derr)
 		}
 	}
 	v, err := compute()

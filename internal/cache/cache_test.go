@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+
+	"mpa/internal/obs"
 )
 
 func TestKeyFraming(t *testing.T) {
@@ -135,6 +137,64 @@ func TestDiskTier(t *testing.T) {
 		func() (int, error) { calls++; return 5, nil })
 	if err != nil || v != 5 || calls != 1 {
 		t.Fatalf("corrupt entry not recomputed: %d, %v, calls %d", v, err, calls)
+	}
+}
+
+func TestDiskCorruptEntryRecovered(t *testing.T) {
+	// Regression: a truncated entry (crash mid-write, disk-full tail) used
+	// to fail decode on every warm run with the bad file left in place,
+	// poisoning the disk tier until manual cleanup. It must degrade to a
+	// miss, be deleted, counted under cache.<stage>.disk_corrupt, and be
+	// replaced by the recomputed value.
+	dir := t.TempDir()
+	cfg := Config{Enabled: true, Dir: dir}
+	codec := Codec[string]{
+		Encode: func(s string) ([]byte, error) { return []byte("v1:" + s), nil },
+		Decode: func(b []byte) (string, error) {
+			if len(b) < 3 || string(b[:3]) != "v1:" {
+				return "", fmt.Errorf("bad header")
+			}
+			return string(b[3:]), nil
+		},
+	}
+	k := KeyOf("k", "truncated")
+	calls := 0
+	compute := func() (string, error) { calls++; return "payload", nil }
+
+	c := New("test-corrupt", cfg)
+	if _, err := GetOrCompute(c, k, codec, compute); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "test-corrupt", k.Hex()[:2], k.Hex())
+	// Truncate the entry mid-payload, as a crash between write and rename
+	// completion (or a full disk) would.
+	if err := os.WriteFile(path, []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptBefore := obs.GetCounter("cache.test-corrupt.disk_corrupt").Value()
+	c2 := New("test-corrupt", cfg) // fresh memory tier, warm (bad) disk tier
+	v, err := GetOrCompute(c2, k, codec, compute)
+	if err != nil || v != "payload" {
+		t.Fatalf("recovery = %q, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("computed %d times, want 2 (recompute after corrupt entry)", calls)
+	}
+	if got := obs.GetCounter("cache.test-corrupt.disk_corrupt").Value() - corruptBefore; got != 1 {
+		t.Fatalf("disk_corrupt counter rose by %d, want 1", got)
+	}
+	// The recomputed value was re-persisted: the file decodes again and a
+	// third fresh instance serves it from disk without recomputation.
+	b, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("entry not re-written after recovery: %v", readErr)
+	}
+	if got, decErr := codec.Decode(b); decErr != nil || got != "payload" {
+		t.Fatalf("re-written entry decodes to %q, %v", got, decErr)
+	}
+	if _, err := GetOrCompute(New("test-corrupt", cfg), k, codec, compute); err != nil || calls != 2 {
+		t.Fatalf("healed tier recomputed (calls %d), err %v", calls, err)
 	}
 }
 

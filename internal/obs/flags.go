@@ -6,11 +6,9 @@ import (
 	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // register /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sync"
 )
 
 // Flags is the shared observability CLI surface: verbosity, live
@@ -38,7 +36,8 @@ type Flags struct {
 	// /metrics.
 	DebugAddr string
 
-	cpuFile *os.File
+	cpuFile   *os.File
+	boundAddr string
 }
 
 // Register installs the flags on fs.
@@ -53,15 +52,11 @@ func (p *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&p.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars, and /metrics on `addr` (e.g. localhost:6060)")
 }
 
-// registerMetricsHandler puts /metrics on the default mux exactly once
-// (the debug server serves the default mux, like /debug/pprof).
-var registerMetricsHandler = sync.OnceFunc(func() {
-	http.Handle("/metrics", PromHandler())
-})
-
 // Start applies the verbosity, begins CPU profiling, and launches the
-// debug server. It returns an error when a profile file cannot be created
-// or the debug address cannot be bound.
+// debug server on the shared DebugMux (never the default mux, so
+// embedders and repeated Starts cannot hit a duplicate-registration
+// panic). It returns an error when a profile file cannot be created or
+// the debug address cannot be bound.
 func (p *Flags) Start() error {
 	switch {
 	case p.VeryVerbose:
@@ -84,19 +79,25 @@ func (p *Flags) Start() error {
 		p.cpuFile = f
 	}
 	if p.DebugAddr != "" {
-		registerMetricsHandler()
 		ln, err := net.Listen("tcp", p.DebugAddr)
 		if err != nil {
 			return fmt.Errorf("obs: debug-addr: %w", err)
 		}
-		Logger().Info("debug server listening", "addr", ln.Addr().String())
+		p.boundAddr = ln.Addr().String()
+		Logger().Info("debug server listening", "addr", p.boundAddr)
 		go func() {
-			// The default mux carries net/http/pprof and expvar handlers.
-			_ = http.Serve(ln, nil)
+			if err := http.Serve(ln, DebugMux()); err != nil {
+				Logger().Error("debug server exited", "addr", ln.Addr().String(), "err", err)
+			}
 		}()
 	}
 	return nil
 }
+
+// BoundDebugAddr returns the debug server's bound address ("host:port",
+// useful when DebugAddr asked for port 0), or "" before Start or when no
+// debug server was requested.
+func (p *Flags) BoundDebugAddr() string { return p.boundAddr }
 
 // Stop finishes CPU profiling and writes the heap profile and the span
 // trace, when requested. writeTrace renders the program's span tree (e.g.

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The debug handler set — Prometheus /metrics, expvar /debug/vars, and
+// net/http/pprof under /debug/pprof — used to live on
+// http.DefaultServeMux, which is process-global state: any embedder that
+// also registered one of those paths panicked, and the handlers leaked
+// onto every other server sharing the default mux. The set now installs
+// onto explicit muxes: Flags.Start serves DebugMux(), and `mpa serve`
+// mounts the same set on its own mux via RegisterDebug.
+
+// RegisterDebug installs the debug handler set on mux:
+//
+//	/metrics              Prometheus text exposition (PromHandler)
+//	/debug/vars           expvar JSON (the registry under the "mpa" key)
+//	/debug/pprof/...      net/http/pprof index, cmdline, profile, symbol, trace
+//
+// Call it at most once per mux — http.ServeMux panics on duplicate
+// patterns. For the shared process-wide mux, use DebugMux, which is
+// idempotent.
+func RegisterDebug(mux *http.ServeMux) {
+	mux.Handle("/metrics", PromHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+var debugMux = sync.OnceValue(func() *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux)
+	return mux
+})
+
+// DebugMux returns the process-wide debug mux, built on first call.
+// Registration is idempotent: every call returns the same mux, so any
+// number of Flags.Start calls (tests, embedders) can serve it without a
+// duplicate-registration panic.
+func DebugMux() *http.ServeMux { return debugMux() }

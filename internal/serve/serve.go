@@ -1,0 +1,406 @@
+// Package serve implements the long-lived `mpa serve` daemon: the
+// paper's monthly monitoring loop turned into a resident process. The
+// organization's data is loaded and inferred exactly once; the warm
+// Framework — its analysis, dataset, and the content-addressed caches —
+// stays in memory, and analysis queries are answered over HTTP. Repeated
+// queries never re-run inference or any other pipeline stage: results
+// are served from the framework's query cache ("cache.query.*" in
+// /metrics), which is the daemon's heavy-traffic path.
+//
+// Endpoints:
+//
+//	GET /healthz                       liveness + loaded-state summary
+//	GET /v1/rank                       practice↔health MI ranking
+//	GET /v1/causal?practice=NAME       matched-design causal analysis
+//	GET /v1/predict?network=N&month=M  health prediction for one network-month
+//	GET /v1/report/{name}              one of the 24 experiment reports, digest-stamped
+//	GET /v1/manifest                   run manifest for the loaded state
+//	GET /metrics, /debug/pprof, /debug/vars  (the shared obs debug set)
+//
+// Every /v1 query runs under a concurrency limit and a request-scoped
+// obs span; totals, per-endpoint counts, errors, in-flight depth, and a
+// latency histogram are registered under "serve.*". Shutdown is
+// graceful: canceling the Serve context stops accepting connections and
+// drains in-flight requests before returning.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mpa"
+	"mpa/internal/obs"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Addr is the listen address, e.g. "localhost:8080"; port 0 picks a
+	// free port (see Server.Listen).
+	Addr string
+	// MaxInFlight bounds concurrently executing /v1 queries; excess
+	// requests queue. Zero means 2×GOMAXPROCS.
+	MaxInFlight int
+	// DrainTimeout bounds graceful shutdown: how long Serve waits for
+	// in-flight requests after its context is canceled. Zero means 30s.
+	DrainTimeout time.Duration
+}
+
+// Server answers analysis queries over one warm Framework.
+type Server struct {
+	f     *mpa.Framework
+	cfg   Config
+	sem   chan struct{}
+	start time.Time
+	mux   *http.ServeMux
+	ln    net.Listener
+
+	requests *obs.Counter
+	errors   *obs.Counter
+	inflight *obs.Gauge
+	latency  *obs.Histogram
+}
+
+// New builds a server over an already-constructed (and therefore
+// already-inferred) framework.
+func New(f *mpa.Framework, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	s := &Server{
+		f:        f,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+		requests: obs.GetCounter("serve.requests"),
+		errors:   obs.GetCounter("serve.errors"),
+		inflight: obs.GetGauge("serve.inflight"),
+		latency: obs.GetHistogram("serve.latency_ms",
+			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000, 5000),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /v1/rank", s.query("rank", s.handleRank))
+	s.mux.Handle("GET /v1/causal", s.query("causal", s.handleCausal))
+	s.mux.Handle("GET /v1/predict", s.query("predict", s.handlePredict))
+	s.mux.Handle("GET /v1/report/{name}", s.query("report", s.handleReport))
+	s.mux.Handle("GET /v1/manifest", s.query("manifest", s.handleManifest))
+	obs.RegisterDebug(s.mux)
+	return s
+}
+
+// Handler returns the server's full route set, for embedding or tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen binds the configured address and returns the bound address
+// (resolving port 0). Serve calls it implicitly when needed.
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until ctx is canceled, then shuts down
+// gracefully: the listener closes, in-flight requests drain (bounded by
+// DrainTimeout), and only then does Serve return. A clean drain returns
+// nil.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		if _, err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(s.ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	obs.Logger().Info("serve: draining in-flight requests", "timeout", s.cfg.DrainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-errc // hs.Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// Run is Listen + Serve.
+func (s *Server) Run(ctx context.Context) error {
+	if s.ln == nil {
+		if _, err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	return s.Serve(ctx)
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// query wraps a /v1 handler with the shared request plumbing: the
+// concurrency limit, total/per-endpoint/error counters, the in-flight
+// gauge, the latency histogram, and a request-scoped span. Request spans
+// are deliberately roots, not children of the framework's pipeline span:
+// attaching them to a long-lived parent would grow its child list
+// without bound under sustained traffic.
+func (s *Server) query(name string, h http.HandlerFunc) http.Handler {
+	perEndpoint := obs.GetCounter("serve.requests." + name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.sem <- struct{}{}
+		s.inflight.Set(float64(len(s.sem)))
+		defer func() {
+			<-s.sem
+			s.inflight.Set(float64(len(s.sem)))
+		}()
+		sp := obs.NewRoot("serve:" + name)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		sp.End()
+		s.requests.Add(1)
+		perEndpoint.Add(1)
+		if sw.status >= 400 {
+			s.errors.Add(1)
+		}
+		s.latency.Observe(float64(sp.Duration().Nanoseconds()) / 1e6)
+		obs.Logger().Debug("serve: request",
+			"endpoint", name, "status", sw.status, "elapsed", sp.Duration())
+	})
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// healthzResponse summarizes the loaded state.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	Networks      int     `json:"networks"`
+	WindowStart   string  `json:"window_start"`
+	WindowEnd     string  `json:"window_end"`
+	Months        int     `json:"months"`
+	Cases         int     `json:"cases"`
+	Experiments   int     `json:"experiments"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	window := s.f.Window()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		Networks:      len(s.f.Dataset().Networks()),
+		WindowStart:   window[0].String(),
+		WindowEnd:     window[len(window)-1].String(),
+		Months:        len(window),
+		Cases:         s.f.Dataset().Len(),
+		Experiments:   len(mpa.ExperimentIDs()),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// rankEntry is one row of the /v1/rank response.
+type rankEntry struct {
+	Rank        int     `json:"rank"`
+	Metric      string  `json:"metric"`
+	DisplayName string  `json:"display_name"`
+	Category    string  `json:"category"`
+	MI          float64 `json:"mi_bits"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, _ *http.Request) {
+	ranked := s.f.RankPracticesCached()
+	out := make([]rankEntry, len(ranked))
+	for i, e := range ranked {
+		out[i] = rankEntry{
+			Rank:        i + 1,
+			Metric:      e.Metric,
+			DisplayName: mpa.DisplayName(e.Metric),
+			Category:    mpa.MetricCategory(e.Metric),
+			MI:          e.MI,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// causalPoint is one comparison point of the /v1/causal response.
+type causalPoint struct {
+	Comparison       string  `json:"comparison"`
+	Pairs            int     `json:"pairs"`
+	FewerTickets     int     `json:"fewer_tickets"`
+	NoEffect         int     `json:"no_effect"`
+	MoreTickets      int     `json:"more_tickets"`
+	PValue           float64 `json:"p_value"`
+	Causal           bool    `json:"causal"`
+	Balanced         bool    `json:"balanced"`
+	Skipped          bool    `json:"skipped"`
+	SensitivityGamma float64 `json:"sensitivity_gamma"`
+}
+
+type causalResponse struct {
+	Treatment   string        `json:"treatment"`
+	DisplayName string        `json:"display_name"`
+	Points      []causalPoint `json:"points"`
+}
+
+func (s *Server) handleCausal(w http.ResponseWriter, r *http.Request) {
+	metric := r.URL.Query().Get("practice")
+	if metric == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter 'practice'")
+		return
+	}
+	if !mpa.KnownMetric(metric) {
+		writeError(w, http.StatusNotFound, "unknown practice metric %q", metric)
+		return
+	}
+	res, err := s.f.AnalyzeCausalCached(metric)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "causal analysis failed: %v", err)
+		return
+	}
+	out := causalResponse{
+		Treatment:   res.Treatment,
+		DisplayName: mpa.DisplayName(res.Treatment),
+		Points:      make([]causalPoint, len(res.Points)),
+	}
+	for i, p := range res.Points {
+		out.Points[i] = causalPoint{
+			Comparison:       p.Comparison,
+			Pairs:            p.Pairs,
+			FewerTickets:     p.FewerTickets,
+			NoEffect:         p.NoEffect,
+			MoreTickets:      p.MoreTickets,
+			PValue:           p.PValue,
+			Causal:           p.Causal,
+			Balanced:         p.Balanced,
+			Skipped:          p.Skipped,
+			SensitivityGamma: p.SensitivityGamma,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// predictResponse is the /v1/predict body.
+type predictResponse struct {
+	Network        string  `json:"network"`
+	Month          string  `json:"month"`
+	Tickets        int     `json:"tickets"`
+	Predicted2     int     `json:"predicted_class2"`
+	Predicted2Name string  `json:"predicted_class2_name"`
+	Predicted5     int     `json:"predicted_class5"`
+	Predicted5Name string  `json:"predicted_class5_name"`
+	Actual2        int     `json:"actual_class2"`
+	Actual5        int     `json:"actual_class5"`
+	Accuracy2      float64 `json:"model2_cv_accuracy"`
+	Accuracy5      float64 `json:"model5_cv_accuracy"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	network := r.URL.Query().Get("network")
+	if network == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter 'network'")
+		return
+	}
+	window := s.f.Window()
+	month := window[len(window)-1]
+	if ms := r.URL.Query().Get("month"); ms != "" {
+		t, err := time.Parse("2006-01", ms)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad month %q, want YYYY-MM", ms)
+			return
+		}
+		month = mpa.MonthOf(t)
+	}
+	pred, err := s.f.PredictNetworkMonth(network, month)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	m2, err := s.f.HealthModelCached(mpa.TwoClass)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	m5, err := s.f.HealthModelCached(mpa.FiveClass)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Network:        pred.Network,
+		Month:          pred.Month.String(),
+		Tickets:        pred.Tickets,
+		Predicted2:     pred.Predicted2,
+		Predicted2Name: pred.Predicted2Name,
+		Predicted5:     pred.Predicted5,
+		Predicted5Name: pred.Predicted5Name,
+		Actual2:        pred.Actual2,
+		Actual5:        pred.Actual5,
+		Accuracy2:      m2.Quality().Accuracy,
+		Accuracy5:      m5.Quality().Accuracy,
+	})
+}
+
+// reportResponse is the /v1/report/{name} body, digest-stamped so two
+// deployments can verify they serve identical results.
+type reportResponse struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Text    string             `json:"text"`
+	Numbers map[string]float64 `json:"numbers"`
+	Digest  string             `json:"digest"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rep, ok := s.f.ExperimentCached(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (GET /v1/manifest lists the known ids after they run; see mpa.ExperimentIDs)", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, reportResponse{
+		ID:      rep.ID,
+		Title:   rep.Title,
+		Text:    rep.Text,
+		Numbers: rep.Numbers,
+		Digest:  rep.Digest(),
+	})
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.f.Manifest())
+}

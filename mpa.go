@@ -180,6 +180,9 @@ func (c Config) params() osp.Params {
 type Framework struct {
 	env *experiments.Env
 	cfg Config // the run's settings, recorded in manifests
+	// queries is the warm query layer (query.go): memoized rankings,
+	// causal analyses, models, and reports for long-lived processes.
+	queries queryState
 }
 
 // NewSynthetic generates a synthetic organization and runs inference over

@@ -86,6 +86,23 @@ func (ps PipelineStats) Table() string {
 	return b.String()
 }
 
+// StageCalls returns how many spans named stage have run directly under
+// the framework's root — e.g. StageCalls("inference") is 1 after
+// construction and must stay 1 however many warm queries run. Serve-mode
+// tests pin the no-recomputation guarantee with it.
+func (f *Framework) StageCalls(stage string) int {
+	if f.env.Obs == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range f.env.Obs.Children() {
+		if c.Name() == stage {
+			n++
+		}
+	}
+	return n
+}
+
 // Manifest builds the run manifest for everything the framework has run
 // so far: build info, the run's config, the per-stage rollup of
 // PipelineStats, a snapshot of the process metric registry (including

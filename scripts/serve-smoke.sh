@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke test for `mpa serve`: build the
+# binary, start a daemon over a small generated archive, query it, and
+# assert a clean graceful shutdown on SIGINT.
+#
+# Usage: scripts/serve-smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+BIN="$(mktemp -d)/mpa"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/mpa
+
+"$BIN" -networks 12 -months 3 -addr "127.0.0.1:$PORT" serve &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+# Wait for the daemon to load and listen (generation + inference).
+for i in $(seq 1 120); do
+    if curl -fsS "http://127.0.0.1:$PORT/healthz" >/tmp/healthz.json 2>/dev/null; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "serve-smoke: daemon exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+grep -q '"status": "ok"' /tmp/healthz.json || {
+    echo "serve-smoke: /healthz did not report ok:" >&2
+    cat /tmp/healthz.json >&2
+    exit 1
+}
+echo "serve-smoke: /healthz ok"
+
+curl -fsS "http://127.0.0.1:$PORT/v1/rank" | grep -q '"metric"' || {
+    echo "serve-smoke: /v1/rank missing ranked metrics" >&2
+    exit 1
+}
+echo "serve-smoke: /v1/rank ok"
+
+# Graceful shutdown: SIGINT must drain and exit 0.
+kill -INT "$PID"
+if wait "$PID"; then
+    echo "serve-smoke: clean shutdown"
+else
+    echo "serve-smoke: daemon exited non-zero on SIGINT" >&2
+    exit 1
+fi
