@@ -18,7 +18,8 @@
 //	export        write the organization's raw data to -dir (JSON/CSV/tree)
 //	report        per-network report card (-network)
 //	stats         run the main pipeline stages and print the per-stage
-//	              observability breakdown (time, allocs, counters)
+//	              observability breakdown (time, allocs, counters) plus
+//	              the flight recorder's slowest-stage list
 //	serve         load once and answer analysis queries over HTTP
 //	              (-addr, -max-inflight); see internal/serve
 //
@@ -41,6 +42,9 @@
 //	-cache-max N   max in-memory cache entries per pipeline stage
 //	-addr A        listen address for `serve` (default localhost:8080)
 //	-max-inflight N  concurrent query limit for `serve` (0 = 2×GOMAXPROCS)
+//	-slow-ms N     serve queries at least this slow are logged at Warn
+//	               with a per-stage breakdown and pinned in the flight
+//	               recorder (default 1000; 0 disables)
 //
 // Observability flags (shared with mpa-experiments):
 //
@@ -64,6 +68,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mpa"
 	"mpa/internal/cache"
@@ -87,6 +92,7 @@ func main() {
 	cacheMax := flag.Int("cache-max", cache.DefaultMaxEntries, "max in-memory cache entries per pipeline stage")
 	addr := flag.String("addr", "localhost:8080", "listen address for the serve subcommand")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent query limit for serve (0 = 2×GOMAXPROCS)")
+	slowMS := flag.Int("slow-ms", 1000, "serve queries at least this slow (milliseconds) are logged at Warn with a per-stage breakdown and pinned in the flight recorder; 0 disables")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -218,7 +224,11 @@ func main() {
 		fmt.Println(strings.Repeat("=", len(r.Title)))
 		fmt.Println(r.Text)
 	case "serve":
-		srv := serve.New(f, serve.Config{Addr: *addr, MaxInFlight: *maxInflight})
+		srv := serve.New(f, serve.Config{
+			Addr:          *addr,
+			MaxInFlight:   *maxInflight,
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		})
 		bound, err := srv.Listen()
 		if err != nil {
 			fatal(err)
@@ -244,6 +254,17 @@ func main() {
 	default:
 		usage()
 		os.Exit(2)
+	}
+
+	// Record the pipeline's stage roots into the flight recorder: `mpa
+	// stats` prints the slowest below, and the run manifest written next
+	// snapshots the recorder (internal/runinfo "recorder" section).
+	f.RecordStages(obs.DefaultRecorder())
+	if cmd == "stats" {
+		fmt.Println("\nFlight recorder — slowest stages of this run:")
+		for _, s := range obs.DefaultRecorder().Slowest(10) {
+			fmt.Printf("  %-28s %12s  %s\n", s.Name, time.Duration(s.DurationNS).Round(10*time.Microsecond), s.ID)
+		}
 	}
 
 	if obsFlags.ManifestPath != "" {

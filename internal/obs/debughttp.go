@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// RegisterRecorderDebug installs the flight-recorder endpoints on mux:
+//
+//	GET /debug/requests              the recent-entry ring, newest first
+//	GET /debug/requests/{id}         one entry: summary + retained span tree
+//	GET /debug/requests/{id}/trace   downloadable Chrome trace JSON for one entry
+//	GET /debug/logs                  recent Warn/Error log records
+//
+// `mpa serve` mounts these over its own recorder; the shared DebugMux
+// (batch -debug-addr) serves the process-wide DefaultRecorder. Like
+// RegisterDebug, call it at most once per mux.
+func RegisterRecorderDebug(mux *http.ServeMux, rec *Recorder) {
+	mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		sums := rec.Summaries()
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(sums) {
+			sums = sums[:n]
+		}
+		debugJSON(w, http.StatusOK, struct {
+			Count    int              `json:"count"`
+			Requests []RequestSummary `json:"requests"`
+		}{Count: rec.Count(), Requests: sums})
+	})
+	mux.HandleFunc("GET /debug/requests/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		sum, ok := rec.Get(id)
+		if !ok {
+			debugError(w, http.StatusNotFound, "no recorded request %q (the ring holds the most recent %d entries)", id, len(rec.Summaries()))
+			return
+		}
+		detail := struct {
+			Summary RequestSummary `json:"summary"`
+			Tree    *SpanNode      `json:"tree,omitempty"`
+		}{Summary: sum}
+		if sp := rec.Tree(id); sp != nil {
+			node := TreeOf(sp)
+			detail.Tree = &node
+		}
+		debugJSON(w, http.StatusOK, detail)
+	})
+	mux.HandleFunc("GET /debug/requests/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		sp := rec.Tree(id)
+		if sp == nil {
+			if _, ok := rec.Get(id); ok {
+				debugError(w, http.StatusNotFound, "request %q is recorded but its span tree was not retained (only the slowest and recent errored requests keep full traces)", id)
+			} else {
+				debugError(w, http.StatusNotFound, "no recorded request %q", id)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+id+".json"))
+		if err := WriteChromeTrace(w, sp); err != nil {
+			Logger().Error("debug: trace export failed", "request_id", id, "err", err)
+		}
+	})
+	mux.HandleFunc("GET /debug/logs", func(w http.ResponseWriter, r *http.Request) {
+		debugJSON(w, http.StatusOK, struct {
+			Logs []LogRecord `json:"logs"`
+		}{Logs: rec.Logs()})
+	})
+}
+
+func debugJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func debugError(w http.ResponseWriter, code int, format string, args ...any) {
+	debugJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: fmt.Sprintf(format, args...)})
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 )
@@ -101,7 +102,9 @@ func (p *Flags) BoundDebugAddr() string { return p.boundAddr }
 
 // Stop finishes CPU profiling and writes the heap profile and the span
 // trace, when requested. writeTrace renders the program's span tree (e.g.
-// Framework.WriteTrace) and may be nil when no tree exists.
+// Framework.WriteTrace) and may be nil when no tree exists. Both outputs
+// are written atomically (temp file + rename): a failed write leaves no
+// truncated file behind.
 func (p *Flags) Stop(writeTrace func(io.Writer) error) error {
 	var firstErr error
 	keep := func(err error) {
@@ -115,23 +118,36 @@ func (p *Flags) Stop(writeTrace func(io.Writer) error) error {
 		p.cpuFile = nil
 	}
 	if p.MemProfile != "" {
-		f, err := os.Create(p.MemProfile)
-		if err != nil {
-			keep(fmt.Errorf("obs: memprofile: %w", err))
-		} else {
+		keep(writeFileAtomic(p.MemProfile, "memprofile", func(w io.Writer) error {
 			runtime.GC() // capture the retained heap, not transient garbage
-			keep(pprof.WriteHeapProfile(f))
-			keep(f.Close())
-		}
+			return pprof.WriteHeapProfile(w)
+		}))
 	}
 	if p.TracePath != "" && writeTrace != nil {
-		f, err := os.Create(p.TracePath)
-		if err != nil {
-			keep(fmt.Errorf("obs: trace: %w", err))
-		} else {
-			keep(writeTrace(f))
-			keep(f.Close())
-		}
+		keep(writeFileAtomic(p.TracePath, "trace", writeTrace))
 	}
 	return firstErr
+}
+
+// writeFileAtomic writes through a temp file in the destination
+// directory and renames into place — the same pattern as
+// runinfo.Manifest.Write — so a write that fails midway (full disk,
+// exporter error) never leaves a truncated profile or trace behind.
+func writeFileAtomic(path, what string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("obs: %s: %w", what, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: %s: %w", what, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: %s: %w", what, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("obs: %s: %w", what, err)
+	}
+	return nil
 }

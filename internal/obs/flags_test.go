@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStopTraceWriteAtomic pins the regression where a failing trace
+// export left a truncated -trace file behind: the write goes through a
+// temp file, so on failure the destination must not exist and no temp
+// files may linger.
+func TestStopTraceWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	boom := errors.New("exporter failed midway")
+
+	p := &Flags{TracePath: path}
+	err := p.Stop(func(w io.Writer) error {
+		// Partial output before the failure — exactly the shape that used
+		// to leave a truncated file.
+		fmt.Fprint(w, `{"traceEvents":[`)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Stop error = %v, want wrapped %v", err, boom)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("failed trace write left %s behind", path)
+	}
+	assertNoLeftovers(t, dir)
+
+	// Success path: the file appears with the full content.
+	p = &Flags{TracePath: path}
+	if err := p.Stop(func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"traceEvents":[]}` {
+		t.Errorf("trace content = %q", data)
+	}
+	assertNoLeftovers(t, dir, "trace.json")
+}
+
+// TestStopMemProfileAtomic covers the same invariant for -memprofile:
+// an unwritable destination directory errors without leaving anything.
+func TestStopMemProfileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mem.pprof")
+	p := &Flags{MemProfile: path}
+	if err := p.Stop(nil); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+	assertNoLeftovers(t, dir, "mem.pprof")
+
+	p = &Flags{MemProfile: filepath.Join(dir, "no-such-subdir", "mem.pprof")}
+	if err := p.Stop(nil); err == nil {
+		t.Error("Stop succeeded writing into a missing directory")
+	}
+}
+
+// assertNoLeftovers fails if dir contains anything beyond the allowed
+// names — in particular no ".<name>-*" temp files from writeFileAtomic.
+func assertNoLeftovers(t *testing.T, dir string, allowed ...string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		ok := false
+		for _, a := range allowed {
+			if e.Name() == a {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected leftover file %q (temp file not cleaned up?)", e.Name())
+		}
+	}
+}
+
+// TestWriteFileAtomicRenameTarget sanity-checks the helper directly:
+// content lands at the destination byte-for-byte.
+func TestWriteFileAtomicRenameTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := writeFileAtomic(path, "test", func(w io.Writer) error {
+		_, err := io.WriteString(w, strings.Repeat("x", 1000))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1000 {
+		t.Errorf("wrote %d bytes, want 1000", len(data))
+	}
+}

@@ -37,6 +37,9 @@ func RegisterDebug(mux *http.ServeMux) {
 var debugMux = sync.OnceValue(func() *http.ServeMux {
 	mux := http.NewServeMux()
 	RegisterDebug(mux)
+	// The shared mux also serves the process-wide flight recorder, so a
+	// batch run with -debug-addr can be asked which stages were slow.
+	RegisterRecorderDebug(mux, DefaultRecorder())
 	return mux
 })
 

@@ -35,7 +35,11 @@ var level = func() *slog.LevelVar {
 var defaultLogger atomic.Pointer[slog.Logger]
 
 func init() {
-	defaultLogger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	// The default logger tees Warn/Error records into the flight
+	// recorder's log ring on the way to stderr, so recent problems stay
+	// inspectable (/debug/requests, run manifests) after they scroll by.
+	text := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	defaultLogger.Store(slog.New(DefaultRecorder().LogHandler(text)))
 }
 
 // Logger returns the package-level structured logger. Pipeline stages log
@@ -45,7 +49,9 @@ func Logger() *slog.Logger { return defaultLogger.Load() }
 
 // SetLogger replaces the package-level logger (tests, or embedders that
 // already have a slog setup). The verbosity gate of SetVerbosity only
-// applies to the default logger.
+// applies to the default logger, and a replacement logger feeds the
+// flight recorder's log ring only if its handler wraps
+// Recorder.LogHandler.
 func SetLogger(l *slog.Logger) {
 	if l != nil {
 		defaultLogger.Store(l)

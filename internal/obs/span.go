@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"runtime/metrics"
 	"sort"
 	"sync"
@@ -195,6 +196,22 @@ func (s *Span) StartTime() time.Time {
 		return time.Time{}
 	}
 	return s.start
+}
+
+// spanCtxKey keys the request span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s, for handler chains that pass
+// a request-scoped span down to the code doing the work.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil — and since every
+// Span method is nil-safe, callers never need to check.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
 }
 
 // heapAllocBytes reads the runtime's cumulative heap-allocation total.

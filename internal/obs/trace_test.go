@@ -112,3 +112,44 @@ func TestWriteChromeTraceNoSpans(t *testing.T) {
 		t.Fatal("expected error for empty trace")
 	}
 }
+
+// TestWriteChromeTraceOpenSpanClamped: exporting a tree with still-open
+// spans (a live request, the pipeline root) must render the
+// elapsed-so-far duration, not zero — a zero-width root makes the whole
+// trace invisible in viewers.
+func TestWriteChromeTraceOpenSpanClamped(t *testing.T) {
+	root := NewRoot("live")
+	done := root.Start("done-stage")
+	done.End()
+	open := root.Start("open-stage")
+	time.Sleep(2 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	open.End()
+	root.End()
+
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	durs := map[string]int64{}
+	for _, ev := range tf.TraceEvents {
+		durs[ev.Name] = ev.Dur
+	}
+	for _, name := range []string{"live", "open-stage"} {
+		if durs[name] < 2000 { // dur is microseconds; we slept 2ms
+			t.Errorf("open span %q exported dur=%dµs, want elapsed-so-far >= 2000", name, durs[name])
+		}
+	}
+	if _, ok := durs["done-stage"]; !ok {
+		t.Error("ended child missing from trace")
+	}
+}

@@ -23,7 +23,11 @@
 //	  "runtime":    {gomaxprocs, num_cpu, heap_objects_bytes,
 //	                 heap_sys_bytes, total_alloc_bytes, gc_cycles,
 //	                 gc_pause_total_ns},
-//	  "report_digests": {experiment-id: sha256-hex, ...}
+//	  "report_digests": {experiment-id: sha256-hex, ...},
+//	  "recorder":   {requests, retained_traces, logs}? — the process
+//	                flight recorder (obs.RecorderSnapshot): recent
+//	                request/stage summaries, the IDs whose span trees
+//	                are retained, and recent Warn/Error log records
 //	}
 //
 // Optional fields marked ? are omitted when empty. Validate enforces the
@@ -62,6 +66,10 @@ type Manifest struct {
 	// rendered report (experiments.Report.Digest). Digests are
 	// byte-stable across identical runs.
 	Reports map[string]string `json:"report_digests,omitempty"`
+	// Recorder snapshots the process flight recorder — recent
+	// request/stage summaries, retained-trace IDs, and recent Warn/Error
+	// log records — when anything was recorded; absent otherwise.
+	Recorder *obs.RecorderSnapshot `json:"recorder,omitempty"`
 }
 
 // BuildInfo identifies the binary that ran: Go version and, when the
@@ -120,13 +128,17 @@ type RuntimeSnapshot struct {
 // carries the cache hit/miss counters among everything else). The
 // caller fills Config, TotalWallNS, Stages, and Reports.
 func New() *Manifest {
-	return &Manifest{
+	m := &Manifest{
 		Schema:    Schema,
 		CreatedAt: time.Now().UTC(),
 		Build:     CollectBuild(),
 		Metrics:   obs.SnapshotMetrics(),
 		Runtime:   CollectRuntime(),
 	}
+	if snap := obs.DefaultRecorder().Snapshot(); len(snap.Requests) > 0 || len(snap.Logs) > 0 {
+		m.Recorder = &snap
+	}
+	return m
 }
 
 // CollectBuild reads the binary's build information. Absent VCS stamps
@@ -203,6 +215,16 @@ func (m *Manifest) Validate() error {
 	for id, digest := range m.Reports {
 		if len(digest) != 64 {
 			return fmt.Errorf("runinfo: report %q digest %q is not sha256 hex", id, digest)
+		}
+	}
+	if m.Recorder != nil {
+		for i, req := range m.Recorder.Requests {
+			if req.ID == "" {
+				return fmt.Errorf("runinfo: recorder request %d has no id", i)
+			}
+			if req.DurationNS < 0 {
+				return fmt.Errorf("runinfo: recorder request %q negative duration_ns", req.ID)
+			}
 		}
 	}
 	return nil

@@ -136,6 +136,54 @@ func TestReadRejectsTruncated(t *testing.T) {
 	}
 }
 
+// TestRecorderSection: once anything lands in the process flight
+// recorder, New embeds a snapshot under "recorder", it round-trips
+// through Write/Read, and Validate rejects malformed entries.
+func TestRecorderSection(t *testing.T) {
+	sp := obs.NewRoot("runinfo_test_stage")
+	sp.End()
+	obs.DefaultRecorder().Record(sp, obs.RequestMeta{ID: "stage-000-runinfo_test_stage"})
+
+	m := sample()
+	m.Recorder = nil // sample() may or may not have seen the record above
+	m2 := New()
+	if m2.Recorder == nil {
+		t.Fatal("manifest missing recorder section after a recorded stage")
+	}
+	found := false
+	for _, r := range m2.Recorder.Requests {
+		if r.ID == "stage-000-runinfo_test_stage" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("recorder section lacks the recorded stage: %+v", m2.Recorder.Requests)
+	}
+
+	m.Recorder = m2.Recorder
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recorder == nil || len(got.Recorder.Requests) != len(m.Recorder.Requests) {
+		t.Errorf("recorder section lost in round trip: %+v", got.Recorder)
+	}
+
+	bad := sample()
+	bad.Recorder = &obs.RecorderSnapshot{Requests: []obs.RequestSummary{{ID: ""}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "no id") {
+		t.Errorf("Validate() = %v, want error for empty recorder request id", err)
+	}
+	bad.Recorder = &obs.RecorderSnapshot{Requests: []obs.RequestSummary{{ID: "x", DurationNS: -1}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "duration_ns") {
+		t.Errorf("Validate() = %v, want error for negative recorder duration", err)
+	}
+}
+
 // TestSchemaFieldNames pins the documented wire names: renames are
 // schema breaks and must bump the version.
 func TestSchemaFieldNames(t *testing.T) {

@@ -16,12 +16,20 @@
 //	GET /v1/report/{name}              one of the 24 experiment reports, digest-stamped
 //	GET /v1/manifest                   run manifest for the loaded state
 //	GET /metrics, /debug/pprof, /debug/vars  (the shared obs debug set)
+//	GET /debug/requests[/{id}[/trace]], /debug/logs  (the flight recorder)
 //
 // Every /v1 query runs under a concurrency limit and a request-scoped
-// obs span; totals, per-endpoint counts, errors, in-flight depth, and a
-// latency histogram are registered under "serve.*". Shutdown is
-// graceful: canceling the Serve context stops accepting connections and
-// drains in-flight requests before returning.
+// obs span; totals, per-endpoint counts, errors, panics, in-flight
+// depth, and a latency histogram are registered under "serve.*". Each
+// request gets an ID — honoring an incoming X-Request-ID or W3C
+// traceparent, echoed back as X-Request-ID — and is recorded in the
+// flight recorder (obs.Recorder) on completion: the recent ring is
+// served at /debug/requests, and full span trees of the slowest and
+// errored requests can be fetched as per-request Chrome traces.
+// Requests slower than Config.SlowThreshold are logged at Warn with a
+// per-stage breakdown. Shutdown is graceful: canceling the Serve
+// context stops accepting connections and drains in-flight requests
+// before returning.
 package serve
 
 import (
@@ -31,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"mpa"
@@ -48,6 +57,14 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: how long Serve waits for
 	// in-flight requests after its context is canceled. Zero means 30s.
 	DrainTimeout time.Duration
+	// SlowThreshold classifies queries at least this slow as slow: they
+	// are logged at Warn with a per-stage breakdown and pinned in the
+	// flight recorder (the `mpa serve -slow-ms` flag). Zero disables
+	// slow classification.
+	SlowThreshold time.Duration
+	// Recorder receives every completed query. Nil uses the process-wide
+	// obs.DefaultRecorder.
+	Recorder *obs.Recorder
 }
 
 // Server answers analysis queries over one warm Framework.
@@ -59,8 +76,11 @@ type Server struct {
 	mux   *http.ServeMux
 	ln    net.Listener
 
+	rec *obs.Recorder
+
 	requests *obs.Counter
 	errors   *obs.Counter
+	panics   *obs.Counter
 	inflight *obs.Gauge
 	latency  *obs.Histogram
 }
@@ -74,14 +94,19 @@ func New(f *mpa.Framework, cfg Config) *Server {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.DefaultRecorder()
+	}
 	s := &Server{
 		f:        f,
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		start:    time.Now(),
 		mux:      http.NewServeMux(),
+		rec:      cfg.Recorder,
 		requests: obs.GetCounter("serve.requests"),
 		errors:   obs.GetCounter("serve.errors"),
+		panics:   obs.GetCounter("serve.panics"),
 		inflight: obs.GetGauge("serve.inflight"),
 		latency: obs.GetHistogram("serve.latency_ms",
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000, 5000),
@@ -93,6 +118,7 @@ func New(f *mpa.Framework, cfg Config) *Server {
 	s.mux.Handle("GET /v1/report/{name}", s.query("report", s.handleReport))
 	s.mux.Handle("GET /v1/manifest", s.query("manifest", s.handleManifest))
 	obs.RegisterDebug(s.mux)
+	obs.RegisterRecorderDebug(s.mux, s.rec)
 	return s
 }
 
@@ -148,23 +174,37 @@ func (s *Server) Run(ctx context.Context) error {
 	return s.Serve(ctx)
 }
 
-// statusWriter captures the response status for the error counter.
+// statusWriter captures the response status for the error counter and
+// whether anything was written, so the panic path knows if a 500 body
+// can still be sent.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
 // query wraps a /v1 handler with the shared request plumbing: the
-// concurrency limit, total/per-endpoint/error counters, the in-flight
-// gauge, the latency histogram, and a request-scoped span. Request spans
-// are deliberately roots, not children of the framework's pipeline span:
-// attaching them to a long-lived parent would grow its child list
-// without bound under sustained traffic.
+// concurrency limit, total/per-endpoint/error/panic counters, the
+// in-flight gauge, the latency histogram, a request-scoped span (passed
+// down via the request context for handlers to hang stage spans on),
+// the request ID (honoring X-Request-ID / traceparent, echoed back as
+// X-Request-ID), and the flight-recorder entry. A handler panic is
+// recovered into a 500 JSON error — latency, counters, and the recorder
+// entry are still recorded. Request spans are deliberately roots, not
+// children of the framework's pipeline span: attaching them to a
+// long-lived parent would grow its child list without bound under
+// sustained traffic.
 func (s *Server) query(name string, h http.HandlerFunc) http.Handler {
 	perEndpoint := obs.GetCounter("serve.requests." + name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -174,19 +214,64 @@ func (s *Server) query(name string, h http.HandlerFunc) http.Handler {
 			<-s.sem
 			s.inflight.Set(float64(len(s.sem)))
 		}()
+		id := obs.RequestIDFrom(r.Header.Get("traceparent"), r.Header.Get("X-Request-ID"))
+		w.Header().Set("X-Request-ID", id)
 		sp := obs.NewRoot("serve:" + name)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		sp.End()
-		s.requests.Add(1)
-		perEndpoint.Add(1)
-		if sw.status >= 400 {
-			s.errors.Add(1)
-		}
-		s.latency.Observe(float64(sp.Duration().Nanoseconds()) / 1e6)
-		obs.Logger().Debug("serve: request",
-			"endpoint", name, "status", sw.status, "elapsed", sp.Duration())
+		defer func() {
+			panicked := recover()
+			if panicked != nil {
+				s.panics.Add(1)
+				obs.Logger().Error("serve: panic in handler",
+					"endpoint", name, "request_id", id, "panic", panicked)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError,
+						"internal error (request %s)", id)
+				} else {
+					// Headers are gone; the client sees a broken body. Record
+					// the failure honestly anyway.
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			sp.End()
+			dur := sp.Duration()
+			slow := s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold
+			s.requests.Add(1)
+			perEndpoint.Add(1)
+			if sw.status >= 400 {
+				s.errors.Add(1)
+			}
+			s.latency.Observe(float64(dur.Nanoseconds()) / 1e6)
+			sum := s.rec.Record(sp, obs.RequestMeta{
+				ID:     id,
+				Status: sw.status,
+				Err:    panicked != nil || sw.status >= 400,
+				Slow:   slow,
+			})
+			if slow {
+				obs.Logger().Warn("serve: slow request",
+					"endpoint", name, "request_id", id, "status", sw.status,
+					"elapsed", dur, "stages", stageString(sum.Stages))
+			} else {
+				obs.Logger().Debug("serve: request",
+					"endpoint", name, "request_id", id, "status", sw.status, "elapsed", dur)
+			}
+		}()
+		h(sw, r.WithContext(obs.ContextWithSpan(r.Context(), sp)))
 	})
+}
+
+// stageString renders a recorder stage breakdown for the slow-request
+// log line, e.g. "causal_analysis=41ms encode=210µs".
+func stageString(stages []obs.StageBreakdown) string {
+	if len(stages) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(stages))
+	for i, st := range stages {
+		parts[i] = fmt.Sprintf("%s=%s", st.Name, time.Duration(st.DurationNS))
+	}
+	return strings.Join(parts, " ")
 }
 
 // writeJSON renders one response body.
@@ -242,8 +327,11 @@ type rankEntry struct {
 	MI          float64 `json:"mi_bits"`
 }
 
-func (s *Server) handleRank(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("rank_practices")
 	ranked := s.f.RankPracticesCached()
+	c.End()
 	out := make([]rankEntry, len(ranked))
 	for i, e := range ranked {
 		out[i] = rankEntry{
@@ -254,7 +342,9 @@ func (s *Server) handleRank(w http.ResponseWriter, _ *http.Request) {
 			MI:          e.MI,
 		}
 	}
+	enc := sp.Start("encode")
 	writeJSON(w, http.StatusOK, out)
+	enc.End()
 }
 
 // causalPoint is one comparison point of the /v1/causal response.
@@ -287,7 +377,10 @@ func (s *Server) handleCausal(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown practice metric %q", metric)
 		return
 	}
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("causal_analysis")
 	res, err := s.f.AnalyzeCausalCached(metric)
+	c.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "causal analysis failed: %v", err)
 		return
@@ -311,7 +404,9 @@ func (s *Server) handleCausal(w http.ResponseWriter, r *http.Request) {
 			SensitivityGamma: p.SensitivityGamma,
 		}
 	}
+	enc := sp.Start("encode")
 	writeJSON(w, http.StatusOK, out)
+	enc.End()
 }
 
 // predictResponse is the /v1/predict body.
@@ -345,21 +440,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		month = mpa.MonthOf(t)
 	}
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("predict")
 	pred, err := s.f.PredictNetworkMonth(network, month)
 	if err != nil {
+		c.End()
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	m2, err := s.f.HealthModelCached(mpa.TwoClass)
 	if err != nil {
+		c.End()
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	m5, err := s.f.HealthModelCached(mpa.FiveClass)
+	c.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	enc := sp.Start("encode")
+	defer enc.End()
 	writeJSON(w, http.StatusOK, predictResponse{
 		Network:        pred.Network,
 		Month:          pred.Month.String(),
@@ -387,11 +489,16 @@ type reportResponse struct {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("experiment")
 	rep, ok := s.f.ExperimentCached(name)
+	c.End()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown experiment %q (GET /v1/manifest lists the known ids after they run; see mpa.ExperimentIDs)", name)
 		return
 	}
+	enc := sp.Start("encode")
+	defer enc.End()
 	writeJSON(w, http.StatusOK, reportResponse{
 		ID:      rep.ID,
 		Title:   rep.Title,
@@ -401,6 +508,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.f.Manifest())
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("manifest")
+	m := s.f.Manifest()
+	c.End()
+	enc := sp.Start("encode")
+	defer enc.End()
+	writeJSON(w, http.StatusOK, m)
 }

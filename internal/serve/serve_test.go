@@ -308,6 +308,148 @@ func TestConcurrentMixedQueries(t *testing.T) {
 	wg.Wait()
 }
 
+// TestFlightRecorderEndToEnd is the acceptance test for the flight
+// recorder loop: issue a query slower than the slow threshold, see its
+// X-Request-ID round-trip, find it in /debug/requests marked slow,
+// fetch its retained span tree, and download a well-formed Chrome
+// trace for it containing the query's stage spans.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	// A dedicated recorder keeps other tests' requests out, and a 1ns
+	// threshold classifies every real request as slow.
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	s := serve.New(testFramework(t), serve.Config{
+		SlowThreshold: time.Nanosecond,
+		Recorder:      rec,
+	})
+
+	// The slow query, with a client-chosen request ID.
+	req := httptest.NewRequest(http.MethodGet, "/v1/causal?practice=no_change_events", nil)
+	req.Header.Set("X-Request-ID", "e2e-slow-causal")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/causal: status %d (%s)", w.Code, w.Body.Bytes())
+	}
+	if got := w.Header().Get("X-Request-ID"); got != "e2e-slow-causal" {
+		t.Fatalf("X-Request-ID = %q, want the client-supplied id echoed back", got)
+	}
+
+	// Found in /debug/requests by its request ID, marked slow.
+	var list struct {
+		Count    int `json:"count"`
+		Requests []struct {
+			ID            string `json:"id"`
+			Name          string `json:"name"`
+			Slow          bool   `json:"slow"`
+			TraceRetained bool   `json:"trace_retained"`
+			Stages        []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+		} `json:"requests"`
+	}
+	res := get(t, s, "/debug/requests", &list)
+	wantStatus(t, res, "/debug/requests", http.StatusOK)
+	idx := -1
+	for i, r := range list.Requests {
+		if r.ID == "e2e-slow-causal" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("request e2e-slow-causal not in /debug/requests (%d entries)", len(list.Requests))
+	}
+	entry := list.Requests[idx]
+	if entry.Name != "serve:causal" || !entry.Slow || !entry.TraceRetained {
+		t.Errorf("entry = %+v, want serve:causal, slow, trace retained", entry)
+	}
+	stageNames := map[string]bool{}
+	for _, st := range entry.Stages {
+		stageNames[st.Name] = true
+	}
+	if !stageNames["causal_analysis"] || !stageNames["encode"] {
+		t.Errorf("stage breakdown %v missing causal_analysis/encode", entry.Stages)
+	}
+
+	// The detail endpoint serves the retained span tree.
+	var detail struct {
+		Tree *struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name       string `json:"name"`
+				DurationNS int64  `json:"duration_ns"`
+			} `json:"children"`
+		} `json:"tree"`
+	}
+	res = get(t, s, "/debug/requests/e2e-slow-causal", &detail)
+	wantStatus(t, res, "/debug/requests/{id}", http.StatusOK)
+	if detail.Tree == nil || detail.Tree.Name != "serve:causal" {
+		t.Fatalf("detail tree = %+v, want serve:causal root", detail.Tree)
+	}
+	childNames := map[string]bool{}
+	for _, c := range detail.Tree.Children {
+		childNames[c.Name] = true
+		if c.DurationNS < 0 {
+			t.Errorf("child %s has negative duration", c.Name)
+		}
+	}
+	if !childNames["causal_analysis"] {
+		t.Errorf("tree children %v missing causal_analysis stage span", childNames)
+	}
+
+	// The per-request Chrome trace: well-formed complete events including
+	// the request root and its stage spans.
+	tr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(tr, httptest.NewRequest(http.MethodGet, "/debug/requests/e2e-slow-causal/trace", nil))
+	wantStatus(t, tr.Result(), "trace", http.StatusOK)
+	if cd := tr.Header().Get("Content-Disposition"); !strings.Contains(cd, "trace-e2e-slow-causal.json") {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   *int64 `json:"ts"`
+			Dur  *int64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr.Body.Bytes(), &tf); err != nil {
+		t.Fatalf("per-request trace is not valid JSON: %v", err)
+	}
+	events := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		events[ev.Name] = true
+		if ev.Ph != "X" || ev.Ts == nil || ev.Dur == nil {
+			t.Errorf("event %+v not a well-formed complete event", ev)
+		}
+	}
+	for _, want := range []string{"serve:causal", "causal_analysis", "encode"} {
+		if !events[want] {
+			t.Errorf("trace missing span %q (has %v)", want, events)
+		}
+	}
+
+	// The slow-request Warn line landed in the process recorder's log
+	// ring (serve logs through obs.Logger(), whose handler tees Warn and
+	// above into obs.DefaultRecorder — the ring `mpa serve` exposes at
+	// /debug/logs in its production configuration).
+	found := false
+	for _, l := range obs.DefaultRecorder().Logs() {
+		if l.Msg == "serve: slow request" && l.Attrs["request_id"] == "e2e-slow-causal" {
+			found = true
+			if l.Level != "WARN" {
+				t.Errorf("slow-request log level = %s, want WARN", l.Level)
+			}
+		}
+	}
+	if !found {
+		t.Error("slow-request Warn record not captured in the default recorder's log ring")
+	}
+
+	// Unknown IDs are clean 404s.
+	wantStatus(t, get(t, s, "/debug/requests/nope", nil), "unknown id", http.StatusNotFound)
+	wantStatus(t, get(t, s, "/debug/requests/nope/trace", nil), "unknown trace", http.StatusNotFound)
+}
+
 // TestGracefulShutdownDrains starts a real listener, fires a request
 // that is still in flight when the serve context is canceled, and
 // asserts the request completes successfully and Serve returns nil

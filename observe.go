@@ -145,6 +145,23 @@ func (f *Framework) WriteManifest(path string) error {
 	return f.Manifest().Write(path)
 }
 
+// RecordStages records every pipeline stage span that has run directly
+// under the framework's root into the flight recorder r, one entry per
+// stage call (IDs "stage-<index>-<name>", in execution order). The
+// CLIs call it on the way out so `mpa stats` can print the slowest
+// stages of the last run, the run manifest carries a recorder snapshot,
+// and a batch run's -debug-addr serves /debug/requests over the same
+// data. Safe to call with a nil recorder or an un-instrumented
+// framework (no-op).
+func (f *Framework) RecordStages(r *obs.Recorder) {
+	if f.env.Obs == nil || r == nil {
+		return
+	}
+	for i, c := range f.env.Obs.Children() {
+		r.Record(c, obs.RequestMeta{ID: fmt.Sprintf("stage-%03d-%s", i, c.Name())})
+	}
+}
+
 // WriteTrace writes the framework's span tree as Chrome trace-event JSON,
 // loadable in about:tracing or Perfetto. Open spans (the root) are
 // rendered with their elapsed-so-far duration.

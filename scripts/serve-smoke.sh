@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # serve-smoke.sh — end-to-end smoke test for `mpa serve`: build the
-# binary, start a daemon over a small generated archive, query it, and
-# assert a clean graceful shutdown on SIGINT.
+# binary, start a daemon over a small generated archive, query it,
+# exercise the flight recorder (request-ID round-trip, /debug/requests,
+# a per-request Chrome trace), and assert a clean graceful shutdown on
+# SIGINT.
 #
 # Usage: scripts/serve-smoke.sh [port]
 set -euo pipefail
@@ -41,6 +43,37 @@ curl -fsS "http://127.0.0.1:$PORT/v1/rank" | grep -q '"metric"' || {
     exit 1
 }
 echo "serve-smoke: /v1/rank ok"
+
+# Flight recorder: a client-supplied X-Request-ID must round-trip back.
+REQ_ID="smoke-$$"
+GOT_ID="$(curl -fsS -D - -o /dev/null -H "X-Request-ID: $REQ_ID" \
+    "http://127.0.0.1:$PORT/v1/causal?practice=no_change_events" \
+    | tr -d '\r' | awk -F': ' 'tolower($1) == "x-request-id" {print $2}')"
+if [ "$GOT_ID" != "$REQ_ID" ]; then
+    echo "serve-smoke: X-Request-ID did not round-trip (sent $REQ_ID, got '$GOT_ID')" >&2
+    exit 1
+fi
+echo "serve-smoke: X-Request-ID round-trip ok"
+
+# The request must be findable in the recorder's ring by that ID.
+curl -fsS "http://127.0.0.1:$PORT/debug/requests" >/tmp/debug-requests.json
+grep -q "\"$REQ_ID\"" /tmp/debug-requests.json || {
+    echo "serve-smoke: request $REQ_ID missing from /debug/requests:" >&2
+    cat /tmp/debug-requests.json >&2
+    exit 1
+}
+echo "serve-smoke: /debug/requests ok"
+
+# And its per-request Chrome trace must be a well-formed trace file
+# (traces of the slowest requests are always retained, and the first few
+# requests trivially rank among the slowest).
+curl -fsS "http://127.0.0.1:$PORT/debug/requests/$REQ_ID/trace" >/tmp/request-trace.json
+grep -q '"traceEvents"' /tmp/request-trace.json && grep -q '"serve:causal"' /tmp/request-trace.json || {
+    echo "serve-smoke: per-request trace malformed:" >&2
+    cat /tmp/request-trace.json >&2
+    exit 1
+}
+echo "serve-smoke: per-request trace ok"
 
 # Graceful shutdown: SIGINT must drain and exit 0.
 kill -INT "$PID"
