@@ -14,8 +14,13 @@ import (
 	"testing"
 
 	"mpa/internal/cache"
+	"mpa/internal/ciscoios"
+	"mpa/internal/confdiff"
+	"mpa/internal/confmodel"
 	"mpa/internal/experiments"
+	"mpa/internal/junos"
 	"mpa/internal/months"
+	"mpa/internal/netmodel"
 	"mpa/internal/osp"
 	"mpa/internal/practices"
 )
@@ -110,6 +115,87 @@ func BenchmarkInferenceWarmCache(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Per-stage microbenchmarks: parse one snapshot and diff one snapshot
+// pair, per dialect, through the same scratch-reusing path the inference
+// engine runs. They localize an allocation regression to a stage that the
+// end-to-end BenchmarkInference number can only hint at.
+
+var (
+	benchSnapOnce sync.Once
+	benchSnapOut  *osp.OSP
+)
+
+// benchSnapshotPair returns the first and last snapshot texts of the
+// first device of the given vendor with at least two snapshots in a
+// shared small OSP — a realistic drifted same-device pair.
+func benchSnapshotPair(b *testing.B, vendor netmodel.Vendor) (oldText, newText string) {
+	b.Helper()
+	benchSnapOnce.Do(func() {
+		p := osp.Small(2)
+		p.Networks = 20
+		benchSnapOut = osp.Generate(p)
+	})
+	for _, nw := range benchSnapOut.Inventory.Networks {
+		for _, dev := range nw.Devices {
+			if dev.Vendor != vendor {
+				continue
+			}
+			if hist := benchSnapOut.Archive.Snapshots(dev.Name); len(hist) >= 2 {
+				return hist[0].Text, hist[len(hist)-1].Text
+			}
+		}
+	}
+	b.Fatalf("no %v device with two snapshots", vendor)
+	return "", ""
+}
+
+func benchParseSnapshot(b *testing.B, d confmodel.ScratchParser, vendor netmodel.Vendor) {
+	_, text := benchSnapshotPair(b, vendor)
+	sc := confmodel.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ParseScratch(text, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDiffPair(b *testing.B, d confmodel.ScratchParser, vendor netmodel.Vendor) {
+	oldText, newText := benchSnapshotPair(b, vendor)
+	sc := confmodel.NewScratch()
+	oldCfg, err := d.ParseScratch(oldText, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newCfg, err := d.ParseScratch(newText, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []confdiff.StanzaChange
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = confdiff.AppendDiff(buf[:0], oldCfg, newCfg)
+	}
+}
+
+func BenchmarkParseSnapshotCisco(b *testing.B) {
+	benchParseSnapshot(b, ciscoios.Dialect{}, netmodel.VendorCisco)
+}
+
+func BenchmarkParseSnapshotJunos(b *testing.B) {
+	benchParseSnapshot(b, junos.Dialect{}, netmodel.VendorJuniper)
+}
+
+func BenchmarkDiffPairCisco(b *testing.B) {
+	benchDiffPair(b, ciscoios.Dialect{}, netmodel.VendorCisco)
+}
+
+func BenchmarkDiffPairJunos(b *testing.B) {
+	benchDiffPair(b, junos.Dialect{}, netmodel.VendorJuniper)
 }
 
 // Table and figure benchmarks, in paper order.

@@ -57,16 +57,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	oldS, err := load(flag.Arg(0))
+	oldL, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	newS, err := load(flag.Arg(1))
+	newL, err := load(flag.Arg(1))
 	if err != nil {
+		fatal(err)
+	}
+	if err := checkProcs(oldL.procs, newL.procs); err != nil {
 		fatal(err)
 	}
 
-	rows, regressed := compare(medians(oldS), medians(newS), *nsThr, *allocThr)
+	rows, regressed := compare(medians(oldL.samples), medians(newL.samples), *nsThr, *allocThr)
 	fmt.Print(render(rows))
 	var added, removed []string
 	for _, r := range rows {
@@ -106,26 +109,76 @@ type sample struct {
 // benchRecord is one line of a scripts/bench.sh baseline.
 type benchRecord struct {
 	Name        string  `json:"name"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// loaded is one parsed baseline: the per-name samples plus the distinct
+// GOMAXPROCS values the records were taken at (empty when the format
+// doesn't carry them — run manifests and pre-gomaxprocs bench files).
+type loaded struct {
+	samples map[string][]sample
+	procs   map[int]bool
 }
 
 // load reads either baseline format into name → samples. Run manifests
 // are detected by their schema marker; anything else must parse as
 // bench JSON lines.
-func load(path string) (map[string][]sample, error) {
+func load(path string) (loaded, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return loaded{}, err
 	}
 	if isManifest(data) {
 		m, err := runinfo.Read(path)
 		if err != nil {
-			return nil, err
+			return loaded{}, err
 		}
-		return manifestSamples(m), nil
+		return loaded{samples: manifestSamples(m)}, nil
 	}
 	return benchSamples(path, data)
+}
+
+// checkProcs refuses a comparison whose two sides were definitely
+// recorded at different GOMAXPROCS: ns/op at 1 proc vs 8 procs measures
+// scheduling, not the code, and such a diff would "pass" while hiding
+// real regressions. Files that don't record gomaxprocs (manifests, old
+// baselines) can't be checked and pass through.
+func checkProcs(oldP, newP map[int]bool) error {
+	if len(oldP) == 0 || len(newP) == 0 {
+		return nil
+	}
+	if !sameSet(oldP, newP) {
+		return fmt.Errorf("refusing to diff: baselines recorded at different GOMAXPROCS (old: %s, new: %s); re-record one side at a matching -cpu / GOMAXPROCS",
+			procList(oldP), procList(newP))
+	}
+	return nil
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func procList(p map[int]bool) string {
+	vals := make([]int, 0, len(p))
+	for v := range p {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
 }
 
 // isManifest sniffs for the run-manifest schema marker in a whole-file
@@ -151,8 +204,8 @@ func manifestSamples(m *runinfo.Manifest) map[string][]sample {
 }
 
 // benchSamples parses bench.sh JSON lines.
-func benchSamples(path string, data []byte) (map[string][]sample, error) {
-	out := map[string][]sample{}
+func benchSamples(path string, data []byte) (loaded, error) {
+	out := loaded{samples: map[string][]sample{}, procs: map[int]bool{}}
 	sc := bufio.NewScanner(strings.NewReader(string(data)))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -164,18 +217,21 @@ func benchSamples(path string, data []byte) (map[string][]sample, error) {
 		}
 		var rec benchRecord
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("%s:%d: not a bench record: %w", path, line, err)
+			return loaded{}, fmt.Errorf("%s:%d: not a bench record: %w", path, line, err)
 		}
 		if rec.Name == "" {
-			return nil, fmt.Errorf("%s:%d: bench record without a name", path, line)
+			return loaded{}, fmt.Errorf("%s:%d: bench record without a name", path, line)
 		}
-		out[rec.Name] = append(out[rec.Name], sample{ns: rec.NsPerOp, allocs: rec.AllocsPerOp})
+		if rec.Gomaxprocs > 0 {
+			out.procs[rec.Gomaxprocs] = true
+		}
+		out.samples[rec.Name] = append(out.samples[rec.Name], sample{ns: rec.NsPerOp, allocs: rec.AllocsPerOp})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return loaded{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark records", path)
+	if len(out.samples) == 0 {
+		return loaded{}, fmt.Errorf("%s: no benchmark records", path)
 	}
 	return out, nil
 }

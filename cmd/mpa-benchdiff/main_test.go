@@ -31,10 +31,13 @@ func TestLoadBenchLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(s["BenchmarkInference"]); got != 3 {
+	if got := len(s.samples["BenchmarkInference"]); got != 3 {
 		t.Fatalf("loaded %d samples, want 3", got)
 	}
-	m := medians(s)["BenchmarkInference"]
+	if len(s.procs) != 1 || !s.procs[1] {
+		t.Errorf("procs = %v, want {1}", s.procs)
+	}
+	m := medians(s.samples)["BenchmarkInference"]
 	if m.ns != 1000 || m.allocs != 100 {
 		t.Errorf("median = %+v, want ns=1000 allocs=100", m)
 	}
@@ -53,9 +56,12 @@ func TestLoadManifest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := s["inference"]
+	got := s.samples["inference"]
 	if len(got) != 1 || got[0].ns != 1000 || got[0].allocs != 300 {
 		t.Errorf("manifest samples = %+v, want one per-call sample ns=1000 allocs=300", got)
+	}
+	if len(s.procs) != 0 {
+		t.Errorf("manifest procs = %v, want empty (format carries none)", s.procs)
 	}
 }
 
@@ -67,6 +73,41 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	empty := benchFile(t, "empty.json", "")
 	if _, err := load(empty); err == nil {
 		t.Fatal("load accepted an empty baseline")
+	}
+}
+
+func TestCheckProcsMismatchRefuses(t *testing.T) {
+	// A 1-proc baseline vs an 8-proc run measures scheduling, not code:
+	// the comparison must be refused, not silently passed.
+	err := checkProcs(map[int]bool{1: true}, map[int]bool{8: true})
+	if err == nil {
+		t.Fatal("GOMAXPROCS mismatch not refused")
+	}
+	for _, want := range []string{"old: 1", "new: 8"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestCheckProcsMatchingOrUnknownPasses(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new map[int]bool
+	}{
+		{"matching", map[int]bool{4: true}, map[int]bool{4: true}},
+		{"old unknown", nil, map[int]bool{8: true}},
+		{"new unknown", map[int]bool{1: true}, map[int]bool{}},
+		{"both unknown", nil, nil},
+		{"matching multi", map[int]bool{1: true, 4: true}, map[int]bool{4: true, 1: true}},
+	}
+	for _, c := range cases {
+		if err := checkProcs(c.old, c.new); err != nil {
+			t.Errorf("%s: unexpected refusal: %v", c.name, err)
+		}
+	}
+	if err := checkProcs(map[int]bool{1: true, 4: true}, map[int]bool{4: true}); err == nil {
+		t.Error("subset proc sets not refused")
 	}
 }
 

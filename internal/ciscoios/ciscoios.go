@@ -194,8 +194,23 @@ func (e *ParseError) Error() string {
 }
 
 // Parse recovers a configuration from IOS-style text produced by Render.
-func (Dialect) Parse(text string) (*confmodel.Config, error) {
-	c := confmodel.NewConfig("")
+func (d Dialect) Parse(text string) (*confmodel.Config, error) {
+	return d.ParseScratch(text, nil)
+}
+
+// ParseScratch is Parse with caller-provided scratch buffers (see
+// confmodel.Scratch): line scanning and tokenization index into the raw
+// text instead of allocating per-line slices, and repeated stanza keys
+// and option keys come from the scratch interner. A nil scratch
+// allocates a fresh one. Every string stored in the returned Config is
+// immutable (it aliases text or the interner) and safe to retain after
+// the scratch is reset or reused.
+func (Dialect) ParseScratch(text string, sc *confmodel.Scratch) (*confmodel.Config, error) {
+	if sc == nil {
+		sc = confmodel.NewScratch()
+	}
+	sc.Reset()
+	c := sc.NewConfig("")
 	var cur *confmodel.Stanza
 	flush := func() {
 		if cur != nil {
@@ -203,64 +218,78 @@ func (Dialect) Parse(text string) (*confmodel.Config, error) {
 			cur = nil
 		}
 	}
-	// global returns the singleton stanza of a global command family.
+	// globals holds the singleton stanza of each global command family
+	// for this parse; they are only ever created here, so the array is
+	// equivalent to (and cheaper than) looking the stanza up by key.
+	var globals [confmodel.NumTypes]*confmodel.Stanza
 	global := func(t confmodel.Type) *confmodel.Stanza {
-		if s := c.Get(t, "global"); s != nil {
+		if s := globals[t]; s != nil {
 			return s
 		}
-		s := confmodel.NewStanza(t, "global")
+		s := sc.NewStanza(t, "global")
 		c.Upsert(s)
+		globals[t] = s
 		return s
 	}
-	for lineNo, raw := range strings.Split(text, "\n") {
+	lineNo := 0
+	for start := 0; start <= len(text); {
+		var raw string
+		if end := strings.IndexByte(text[start:], '\n'); end < 0 {
+			raw = text[start:]
+			start = len(text) + 1
+		} else {
+			raw = text[start : start+end]
+			start += end + 1
+		}
+		lineNo++
 		line := strings.TrimRight(raw, " \t")
 		if strings.TrimSpace(line) == "" || line == "!" || line == "end" {
 			continue
 		}
 		if strings.HasPrefix(line, " ") {
 			if cur == nil {
-				return nil, &ParseError{lineNo + 1, line, "option line outside stanza"}
+				return nil, &ParseError{lineNo, line, "option line outside stanza"}
 			}
-			if err := parseOption(cur, strings.TrimSpace(line)); err != nil {
-				return nil, &ParseError{lineNo + 1, line, err.Error()}
+			if err := parseOption(sc, cur, strings.TrimSpace(line)); err != nil {
+				return nil, &ParseError{lineNo, line, err.Error()}
 			}
 			continue
 		}
 		flush()
-		fields := strings.Fields(line)
+		fields := sc.Fields(line)
 		switch {
 		case fields[0] == "hostname" && len(fields) == 2:
 			c.Hostname = fields[1]
 		case fields[0] == "interface" && len(fields) == 2:
-			cur = confmodel.NewStanza(confmodel.TypeInterface, fields[1])
+			cur = sc.NewStanza(confmodel.TypeInterface, fields[1])
 		case fields[0] == "vlan" && len(fields) == 2:
-			cur = confmodel.NewStanza(confmodel.TypeVLAN, fields[1])
+			cur = sc.NewStanza(confmodel.TypeVLAN, fields[1])
 			cur.Set("vlan-id", fields[1])
 		case strings.HasPrefix(line, "ip access-list extended ") && len(fields) == 4:
-			cur = confmodel.NewStanza(confmodel.TypeACL, fields[3])
+			cur = sc.NewStanza(confmodel.TypeACL, fields[3])
 		case strings.HasPrefix(line, "router bgp ") && len(fields) == 3:
-			cur = confmodel.NewStanza(confmodel.TypeBGP, fields[2])
+			cur = sc.NewStanza(confmodel.TypeBGP, fields[2])
 			cur.Set("local-as", fields[2])
 		case strings.HasPrefix(line, "router ospf ") && len(fields) == 3:
-			cur = confmodel.NewStanza(confmodel.TypeOSPF, fields[2])
+			cur = sc.NewStanza(confmodel.TypeOSPF, fields[2])
 		case strings.HasPrefix(line, "ip slb serverfarm ") && len(fields) == 4:
-			cur = confmodel.NewStanza(confmodel.TypePool, fields[3])
+			cur = sc.NewStanza(confmodel.TypePool, fields[3])
 		case fields[0] == "username" && len(fields) == 7:
-			s := confmodel.NewStanza(confmodel.TypeUser, fields[1])
+			s := sc.NewStanza(confmodel.TypeUser, fields[1])
 			s.Set("role", fields[3]).Set("hash", fields[6])
 			c.Upsert(s)
 		case strings.HasPrefix(line, "snmp-server community ") && len(fields) == 4:
 			global(confmodel.TypeSNMP).Set("community", fields[2])
 		case strings.HasPrefix(line, "snmp-server host ") && len(fields) == 3:
-			global(confmodel.TypeSNMP).Set("host:"+fields[2], "true")
+			global(confmodel.TypeSNMP).Set(sc.Intern2("host:", fields[2]), "true")
 		case strings.HasPrefix(line, "ntp server ") && len(fields) == 3:
-			global(confmodel.TypeNTP).Set("server:"+fields[2], "true")
+			global(confmodel.TypeNTP).Set(sc.Intern2("server:", fields[2]), "true")
 		case strings.HasPrefix(line, "logging trap ") && len(fields) == 3:
 			global(confmodel.TypeLogging).Set("level", fields[2])
 		case strings.HasPrefix(line, "logging host ") && len(fields) == 3:
-			global(confmodel.TypeLogging).Set("host:"+fields[2], "true")
+			global(confmodel.TypeLogging).Set(sc.Intern2("host:", fields[2]), "true")
 		case fields[0] == "policy-map" && len(fields) == 2:
-			cur = confmodel.NewStanza(confmodel.TypeQoS, fields[1])
+			cur = sc.NewStanza(confmodel.TypeQoS, fields[1])
 		case strings.HasPrefix(line, "sflow collector ") && len(fields) == 3:
 			global(confmodel.TypeSflow).Set("collector", fields[2])
 		case strings.HasPrefix(line, "sflow sampling-rate ") && len(fields) == 3:
@@ -274,31 +303,32 @@ func (Dialect) Parse(text string) (*confmodel.Config, error) {
 		case line == "udld enable":
 			global(confmodel.TypeUDLD).Set("enable", "true")
 		case strings.HasPrefix(line, "ip dhcp-relay ") && len(fields) == 3:
-			cur = confmodel.NewStanza(confmodel.TypeDHCPRelay, fields[2])
+			cur = sc.NewStanza(confmodel.TypeDHCPRelay, fields[2])
 		case strings.HasPrefix(line, "ip prefix-list ") && len(fields) >= 5 && fields[3] == "seq":
 			name := fields[2]
-			s := c.Get(confmodel.TypePrefixList, name)
+			s := sc.Lookup(c, confmodel.TypePrefixList, name)
 			if s == nil {
-				s = confmodel.NewStanza(confmodel.TypePrefixList, name)
+				s = sc.NewStanza(confmodel.TypePrefixList, name)
 				c.Upsert(s)
 			}
-			s.Set("rule:"+fields[4], strings.Join(fields[5:], " "))
+			s.Set(sc.Intern2("rule:", fields[4]), sc.InternJoin(fields[5:]))
 		case fields[0] == "route-map" && len(fields) == 2:
-			cur = confmodel.NewStanza(confmodel.TypeRouteMap, fields[1])
+			cur = sc.NewStanza(confmodel.TypeRouteMap, fields[1])
 		case fields[0] == "other" && len(fields) == 2:
-			cur = confmodel.NewStanza(confmodel.TypeOther, fields[1])
+			cur = sc.NewStanza(confmodel.TypeOther, fields[1])
 		default:
-			return nil, &ParseError{lineNo + 1, line, "unrecognized top-level line"}
+			return nil, &ParseError{lineNo, line, "unrecognized top-level line"}
 		}
 	}
 	flush()
+	sc.FinishConfig(c)
 	return c, nil
 }
 
 // parseOption interprets one indented option line in the context of the
-// current stanza.
-func parseOption(s *confmodel.Stanza, line string) error {
-	fields := strings.Fields(line)
+// current stanza, using the scratch for tokenization and key interning.
+func parseOption(sc *confmodel.Scratch, s *confmodel.Stanza, line string) error {
+	fields := sc.Fields(line)
 	if len(fields) == 0 {
 		return fmt.Errorf("empty option line")
 	}
@@ -306,7 +336,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 	case confmodel.TypeInterface:
 		switch {
 		case fields[0] == "description" && len(fields) >= 2:
-			s.Set("description", strings.Join(fields[1:], " "))
+			s.Set("description", sc.InternJoin(fields[1:]))
 		case strings.HasPrefix(line, "ip address ") && len(fields) == 3:
 			s.Set("address", fields[2])
 		case fields[0] == "mtu" && len(fields) == 2:
@@ -315,7 +345,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 			s.Set("access-vlan", fields[3])
 		case strings.HasPrefix(line, "ip access-group ") && len(fields) == 4 &&
 			(fields[3] == "in" || fields[3] == "out"):
-			s.Set("acl-"+fields[3], fields[2])
+			s.Set(sc.Intern2("acl-", fields[3]), fields[2])
 		case strings.HasPrefix(line, "channel-group ") && len(fields) == 4:
 			s.Set("lag-group", fields[1])
 		case strings.HasPrefix(line, "service-policy output ") && len(fields) == 3:
@@ -327,7 +357,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		}
 	case confmodel.TypeVLAN:
 		if fields[0] == "name" && len(fields) >= 2 {
-			s.Set("description", strings.Join(fields[1:], " "))
+			s.Set("description", sc.InternJoin(fields[1:]))
 		} else {
 			return fmt.Errorf("unknown vlan option")
 		}
@@ -335,19 +365,19 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		if len(fields) < 2 {
 			return fmt.Errorf("short acl rule")
 		}
-		s.Set("rule:"+fields[0], strings.Join(fields[1:], " "))
+		s.Set(sc.Intern2("rule:", fields[0]), sc.InternJoin(fields[1:]))
 	case confmodel.TypeBGP:
 		switch {
 		case fields[0] == "neighbor" && len(fields) == 4 && fields[2] == "remote-as":
-			s.Set("neighbor:"+fields[1], fields[3])
+			s.Set(sc.Intern2("neighbor:", fields[1]), fields[3])
 		case fields[0] == "neighbor" && len(fields) == 5 && fields[2] == "route-map":
-			s.Set("neighbor-rm:"+fields[1], fields[3])
+			s.Set(sc.Intern2("neighbor-rm:", fields[1]), fields[3])
 		case fields[0] == "network" && len(fields) == 2:
-			s.Set("network:"+fields[1], "true")
+			s.Set(sc.Intern2("network:", fields[1]), "true")
 		case strings.HasPrefix(line, "distribute-list prefix ") && len(fields) == 4:
-			s.Set("prefix-list:"+fields[2], fields[3])
+			s.Set(sc.Intern2("prefix-list:", fields[2]), fields[3])
 		case fields[0] == "redistribute" && len(fields) == 4 && fields[2] == "route-map":
-			s.Set("route-map:"+fields[3], fields[1])
+			s.Set(sc.Intern2("route-map:", fields[3]), fields[1])
 		default:
 			return fmt.Errorf("unknown bgp option")
 		}
@@ -356,7 +386,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "area" && len(fields) == 4:
 			s.Set("area", fields[1])
 		case fields[0] == "network" && len(fields) == 4 && fields[2] == "area":
-			s.Set("network:"+fields[1], fields[3])
+			s.Set(sc.Intern2("network:", fields[1]), fields[3])
 		default:
 			return fmt.Errorf("unknown ospf option")
 		}
@@ -365,13 +395,13 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "probe" && len(fields) == 2:
 			s.Set("monitor", fields[1])
 		case fields[0] == "real" && len(fields) == 4 && fields[2] == "weight":
-			s.Set("member:"+fields[1], fields[3])
+			s.Set(sc.Intern2("member:", fields[1]), fields[3])
 		default:
 			return fmt.Errorf("unknown pool option")
 		}
 	case confmodel.TypeQoS:
 		if fields[0] == "class" && len(fields) == 4 && fields[2] == "bandwidth" {
-			s.Set("class:"+fields[1], fields[3])
+			s.Set(sc.Intern2("class:", fields[1]), fields[3])
 		} else {
 			return fmt.Errorf("unknown policy-map option")
 		}
@@ -380,13 +410,13 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "vlan" && len(fields) == 2:
 			s.Set("vlan", fields[1])
 		case fields[0] == "server" && len(fields) == 2:
-			s.Set("server:"+fields[1], "true")
+			s.Set(sc.Intern2("server:", fields[1]), "true")
 		default:
 			return fmt.Errorf("unknown dhcp-relay option")
 		}
 	case confmodel.TypeRouteMap:
 		if fields[0] == "entry" && len(fields) >= 3 {
-			s.Set("entry:"+fields[1], strings.Join(fields[2:], " "))
+			s.Set(sc.Intern2("entry:", fields[1]), sc.InternJoin(fields[2:]))
 		} else {
 			return fmt.Errorf("unknown route-map option")
 		}

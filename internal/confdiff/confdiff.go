@@ -6,7 +6,8 @@
 package confdiff
 
 import (
-	"sort"
+	"slices"
+	"strings"
 
 	"mpa/internal/confmodel"
 )
@@ -42,41 +43,62 @@ type StanzaChange struct {
 	Kind Kind
 }
 
-// Diff returns the stanza-level changes from old to new, sorted by stanza
-// key then kind for determinism. A nil result means the configurations are
-// identical (no configuration change occurred).
+// Diff returns the stanza-level changes from old to new, sorted by type,
+// name, then kind for determinism. A nil result means the configurations
+// are identical (no configuration change occurred).
 func Diff(oldCfg, newCfg *confmodel.Config) []StanzaChange {
-	var changes []StanzaChange
-	oldByKey := map[string]*confmodel.Stanza{}
-	for _, s := range oldCfg.Stanzas() {
-		oldByKey[s.Key()] = s
-	}
-	seen := map[string]bool{}
-	for _, s := range newCfg.Stanzas() {
-		seen[s.Key()] = true
-		old, ok := oldByKey[s.Key()]
+	return AppendDiff(nil, oldCfg, newCfg)
+}
+
+// AppendDiff appends the stanza-level changes from old to new onto dst
+// and returns the extended slice. It merge-walks the two configs' cached
+// key-sorted stanza views, so a diff allocates nothing beyond growing dst
+// (no per-call maps). The appended region is sorted like Diff's result;
+// entries already in dst are left untouched. Callers on the hot path pass
+// dst[:0] of a reused buffer.
+func AppendDiff(dst []StanzaChange, oldCfg, newCfg *confmodel.Config) []StanzaChange {
+	base := len(dst)
+	olds, news := oldCfg.Stanzas(), newCfg.Stanzas()
+	i, j := 0, 0
+	for i < len(olds) || j < len(news) {
 		switch {
-		case !ok:
-			changes = append(changes, StanzaChange{s.Type, s.Name, KindAdd})
-		case !old.Equal(s):
-			changes = append(changes, StanzaChange{s.Type, s.Name, KindUpdate})
+		case i >= len(olds):
+			dst = append(dst, StanzaChange{news[j].Type, news[j].Name, KindAdd})
+			j++
+		case j >= len(news):
+			dst = append(dst, StanzaChange{olds[i].Type, olds[i].Name, KindRemove})
+			i++
+		default:
+			switch c := strings.Compare(olds[i].Key(), news[j].Key()); {
+			case c < 0:
+				dst = append(dst, StanzaChange{olds[i].Type, olds[i].Name, KindRemove})
+				i++
+			case c > 0:
+				dst = append(dst, StanzaChange{news[j].Type, news[j].Name, KindAdd})
+				j++
+			default:
+				if !olds[i].Equal(news[j]) {
+					dst = append(dst, StanzaChange{news[j].Type, news[j].Name, KindUpdate})
+				}
+				i++
+				j++
+			}
 		}
 	}
-	for _, s := range oldCfg.Stanzas() {
-		if !seen[s.Key()] {
-			changes = append(changes, StanzaChange{s.Type, s.Name, KindRemove})
+	// The merge emits in key (type-string) order; the public order is by
+	// Type's integer value, which differs (e.g. "acl" sorts before
+	// "interface" but TypeInterface < TypeACL).
+	out := dst[base:]
+	slices.SortFunc(out, func(a, b StanzaChange) int {
+		if a.Type != b.Type {
+			return int(a.Type) - int(b.Type)
 		}
-	}
-	sort.Slice(changes, func(i, j int) bool {
-		if changes[i].Type != changes[j].Type {
-			return changes[i].Type < changes[j].Type
+		if c := strings.Compare(a.Name, b.Name); c != 0 {
+			return c
 		}
-		if changes[i].Name != changes[j].Name {
-			return changes[i].Name < changes[j].Name
-		}
-		return changes[i].Kind < changes[j].Kind
+		return int(a.Kind) - int(b.Kind)
 	})
-	return changes
+	return dst
 }
 
 // Types returns the set of distinct vendor-agnostic stanza types touched

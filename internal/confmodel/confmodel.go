@@ -12,9 +12,10 @@
 package confmodel
 
 import (
-	"fmt"
+	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Type is a vendor-agnostic stanza type (paper §2.2: "we manually identify
@@ -123,15 +124,30 @@ type Stanza struct {
 	Type    Type
 	Name    string
 	Options map[string]string
+
+	// key caches Key(). It is computed once at construction (NewStanza,
+	// Scratch.NewStanza) and never written afterwards, so concurrent
+	// readers of a shared parsed config are race-free. Type and Name are
+	// set at construction and must not be reassigned.
+	key string
 }
 
 // NewStanza returns an empty stanza of the given type and name.
 func NewStanza(t Type, name string) *Stanza {
-	return &Stanza{Type: t, Name: name, Options: map[string]string{}}
+	return &Stanza{Type: t, Name: name, Options: map[string]string{},
+		key: t.String() + " " + name}
 }
 
-// Key returns the stanza identity used for diffing: type plus name.
-func (s *Stanza) Key() string { return s.Type.String() + " " + s.Name }
+// Key returns the stanza identity used for diffing: type plus name. The
+// key is cached at construction; zero-value literals fall back to
+// computing it on every call without caching (writing the cache lazily
+// would race on configs shared across workers).
+func (s *Stanza) Key() string {
+	if s.key != "" {
+		return s.key
+	}
+	return s.Type.String() + " " + s.Name
+}
 
 // Set sets an option and returns the stanza for chaining.
 func (s *Stanza) Set(key, value string) *Stanza {
@@ -150,7 +166,8 @@ func (s *Stanza) Delete(key string) { delete(s.Options, key) }
 
 // Clone returns a deep copy of the stanza.
 func (s *Stanza) Clone() *Stanza {
-	c := NewStanza(s.Type, s.Name)
+	c := &Stanza{Type: s.Type, Name: s.Name, key: s.Key(),
+		Options: make(map[string]string, len(s.Options))}
 	for k, v := range s.Options {
 		c.Options[k] = v
 	}
@@ -198,6 +215,14 @@ func (s *Stanza) OptionsWithPrefix(prefix string) map[string]string {
 type Config struct {
 	Hostname string
 	stanzas  map[string]*Stanza
+
+	// sorted caches the key-sorted stanza view handed out by Stanzas and
+	// OfType; it is invalidated (set to nil) by Upsert and Remove. The
+	// pointer is atomic because parsed configs are shared read-only
+	// across inference workers via the content-addressed cache: two
+	// workers may rebuild the view concurrently, and both builds are
+	// identical, so racing Stores are benign.
+	sorted atomic.Pointer[[]*Stanza]
 }
 
 // NewConfig returns an empty configuration for the given hostname.
@@ -208,6 +233,7 @@ func NewConfig(hostname string) *Config {
 // Upsert inserts or replaces a stanza.
 func (c *Config) Upsert(s *Stanza) {
 	c.stanzas[s.Key()] = s
+	c.sorted.Store(nil)
 }
 
 // Get returns the stanza with the given type and name, or nil.
@@ -223,40 +249,49 @@ func (c *Config) Remove(t Type, name string) bool {
 		return false
 	}
 	delete(c.stanzas, key)
+	c.sorted.Store(nil)
 	return true
 }
 
 // Len returns the number of stanzas.
 func (c *Config) Len() int { return len(c.stanzas) }
 
-// Stanzas returns all stanzas in deterministic (key-sorted) order.
+// Stanzas returns all stanzas in deterministic (key-sorted) order. The
+// returned slice is a shared cached view: callers must not modify it.
 func (c *Config) Stanzas() []*Stanza {
-	keys := make([]string, 0, len(c.stanzas))
-	for k := range c.stanzas {
-		keys = append(keys, k)
+	if p := c.sorted.Load(); p != nil {
+		return *p
 	}
-	sort.Strings(keys)
-	out := make([]*Stanza, len(keys))
-	for i, k := range keys {
-		out[i] = c.stanzas[k]
+	out := make([]*Stanza, 0, len(c.stanzas))
+	for _, s := range c.stanzas {
+		out = append(out, s)
 	}
+	slices.SortFunc(out, func(a, b *Stanza) int { return strings.Compare(a.Key(), b.Key()) })
+	c.sorted.Store(&out)
 	return out
 }
 
 // OfType returns all stanzas of the given type in deterministic order.
+// The result is a sub-slice of the cached sorted view (stanzas of one
+// type are contiguous there, because every key starts with the type
+// identifier and a space, which sorts before any identifier character):
+// callers must not modify it.
 func (c *Config) OfType(t Type) []*Stanza {
-	var out []*Stanza
-	for _, s := range c.Stanzas() {
-		if s.Type == t {
-			out = append(out, s)
-		}
+	all := c.Stanzas()
+	lo := 0
+	for lo < len(all) && all[lo].Type != t {
+		lo++
 	}
-	return out
+	hi := lo
+	for hi < len(all) && all[hi].Type == t {
+		hi++
+	}
+	return all[lo:hi:hi]
 }
 
 // Clone returns a deep copy of the configuration.
 func (c *Config) Clone() *Config {
-	out := NewConfig(c.Hostname)
+	out := &Config{Hostname: c.Hostname, stanzas: make(map[string]*Stanza, len(c.stanzas))}
 	for _, s := range c.stanzas {
 		out.Upsert(s.Clone())
 	}
@@ -279,27 +314,64 @@ func (c *Config) Equal(o *Config) bool {
 
 // Fingerprint returns a cheap deterministic digest of the configuration,
 // used by the NMS to detect whether a snapshot differs from its
-// predecessor without storing full diffs.
+// predecessor without storing full diffs. The digest is the FNV-1a hash
+// of the byte stream `key{k=v;...}` per sorted stanza (option keys
+// sorted), hashed incrementally so no intermediate string is built.
 func (c *Config) Fingerprint() string {
-	var b strings.Builder
+	const offset = 14695981039346656037
+	var h uint64 = offset
+	var keys []string // one buffer reused across stanzas
 	for _, s := range c.Stanzas() {
-		b.WriteString(s.Key())
-		b.WriteByte('{')
-		for _, k := range s.SortedOptionKeys() {
-			fmt.Fprintf(&b, "%s=%s;", k, s.Options[k])
+		h = fnvString(h, s.Key())
+		h = fnvByte(h, '{')
+		keys = keys[:0]
+		for k := range s.Options {
+			keys = append(keys, k)
 		}
-		b.WriteByte('}')
+		slices.Sort(keys)
+		for _, k := range keys {
+			h = fnvString(h, k)
+			h = fnvByte(h, '=')
+			h = fnvString(h, s.Options[k])
+			h = fnvByte(h, ';')
+		}
+		h = fnvByte(h, '}')
 	}
-	return fnv64(b.String())
+	return hex16(h)
 }
 
-// fnv64 returns the FNV-1a 64-bit hash of s as a hex string.
-func fnv64(s string) string {
-	const offset, prime = 14695981039346656037, 1099511628211
-	var h uint64 = offset
+// fnvString folds s into a running FNV-1a 64-bit hash.
+func fnvString(h uint64, s string) uint64 {
+	const prime = 1099511628211
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
 		h *= prime
 	}
-	return fmt.Sprintf("%016x", h)
+	return h
+}
+
+// fnvByte folds one byte into a running FNV-1a 64-bit hash.
+func fnvByte(h uint64, b byte) uint64 {
+	const prime = 1099511628211
+	h ^= uint64(b)
+	h *= prime
+	return h
+}
+
+// fnv64 returns the FNV-1a 64-bit hash of s as a hex string.
+func fnv64(s string) string {
+	const offset = 14695981039346656037
+	return hex16(fnvString(offset, s))
+}
+
+// hex16 formats h as 16 lower-case hex digits (fmt.Sprintf("%016x", h)
+// without the fmt machinery).
+func hex16(h uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
 }

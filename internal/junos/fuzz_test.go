@@ -1,12 +1,39 @@
 package junos
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"mpa/internal/confdiff"
+	"mpa/internal/confmodel"
 	"mpa/internal/conftest"
 	"mpa/internal/rng"
 )
+
+// adversarialSeeds builds allocation-heavy inputs: thousands of small
+// stanzas (config-map growth), one stanza with thousands of options
+// (options-map growth), a pathologically long line (field-buffer growth),
+// and deep brace nesting (which this flat-block grammar must reject at
+// the second open brace, not by recursing or leaking partial state).
+func adversarialSeeds(d confmodel.Dialect) []string {
+	many := confmodel.NewConfig("many")
+	for i := 0; i < 2500; i++ {
+		many.Upsert(confmodel.NewStanza(confmodel.TypeVLAN, fmt.Sprintf("v%d", i)).
+			Set("vlan-id", fmt.Sprint(i)))
+	}
+	wide := confmodel.NewConfig("wide")
+	acl := confmodel.NewStanza(confmodel.TypeACL, "megafilter")
+	for i := 0; i < 2000; i++ {
+		acl.Set(fmt.Sprintf("rule:%d", i), "permit ip any any")
+	}
+	wide.Upsert(acl)
+	long := confmodel.NewConfig("long")
+	long.Upsert(confmodel.NewStanza(confmodel.TypeInterface, "ge-0/0/0").
+		Set("description", strings.TrimSpace(strings.Repeat("pathologically-long-token ", 4000))))
+	deep := strings.Repeat("vlans inner {\n", 500) + strings.Repeat("}\n", 500)
+	return []string{d.Render(many), d.Render(wide), d.Render(long), deep}
+}
 
 // FuzzRoundTrip feeds arbitrary text through the parser. Whatever parses
 // must round-trip losslessly: rendering is a canonical form, so the
@@ -23,6 +50,9 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add("system {\n    host-name core;\n}\n")
 	f.Add("interfaces {\n    ge-0/0/0 {\n        unit 0;\n    }\n}\n")
 	f.Add("vlans {\n    v10 {\n        vlan-id 10;\n    }\n")
+	for _, s := range adversarialSeeds(d) {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, text string) {
 		cfg, err := d.Parse(text)
 		if err != nil {
@@ -41,6 +71,25 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if diff := confdiff.Diff(cfg, again); len(diff) != 0 {
 			t.Fatalf("diff(cfg, reparse) not empty: %v", diff)
+		}
+		// Scratch equivalence and aliasing safety: a shared-scratch parse
+		// must equal the plain parse, and a later parse with the same
+		// scratch (which rewrites every transient buffer) must not corrupt
+		// the earlier result — parsed configs may only hold immutable
+		// strings, never scratch memory.
+		sc := confmodel.NewScratch()
+		first, err := d.ParseScratch(text, sc)
+		if err != nil {
+			t.Fatalf("ParseScratch rejects what Parse accepts: %v", err)
+		}
+		if !cfg.Equal(first) {
+			t.Fatalf("ParseScratch disagrees with Parse:\n%v", confdiff.Diff(cfg, first))
+		}
+		if _, err := d.ParseScratch(canon, sc); err != nil {
+			t.Fatalf("second scratch parse failed: %v", err)
+		}
+		if !cfg.Equal(first) || d.Render(first) != canon {
+			t.Fatalf("reusing the scratch corrupted a previously parsed config")
 		}
 	})
 }

@@ -178,104 +178,130 @@ func (e *ParseError) Error() string {
 }
 
 // Parse recovers a configuration from JunOS-style text produced by Render.
-func (Dialect) Parse(text string) (*confmodel.Config, error) {
-	c := confmodel.NewConfig("")
+func (d Dialect) Parse(text string) (*confmodel.Config, error) {
+	return d.ParseScratch(text, nil)
+}
+
+// ParseScratch is Parse with caller-provided scratch buffers (see
+// confmodel.Scratch): line scanning and tokenization index into the raw
+// text instead of allocating per-line slices, and repeated stanza keys
+// and option keys come from the scratch interner. A nil scratch
+// allocates a fresh one. Every string stored in the returned Config is
+// immutable (it aliases text or the interner) and safe to retain after
+// the scratch is reset or reused.
+func (Dialect) ParseScratch(text string, sc *confmodel.Scratch) (*confmodel.Config, error) {
+	if sc == nil {
+		sc = confmodel.NewScratch()
+	}
+	sc.Reset()
+	c := sc.NewConfig("")
 	var cur *confmodel.Stanza
-	for lineNo, raw := range strings.Split(text, "\n") {
+	lineNo := 0
+	for start := 0; start <= len(text); {
+		var raw string
+		if end := strings.IndexByte(text[start:], '\n'); end < 0 {
+			raw = text[start:]
+			start = len(text) + 1
+		} else {
+			raw = text[start : start+end]
+			start += end + 1
+		}
+		lineNo++
 		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
 		switch {
 		case strings.HasPrefix(line, "host-name ") && strings.HasSuffix(line, ";"):
-			c.Hostname = strings.TrimSuffix(strings.Fields(line)[1], ";")
+			c.Hostname = strings.TrimSuffix(sc.Fields(line)[1], ";")
 		case line == "}":
 			if cur == nil {
-				return nil, &ParseError{lineNo + 1, line, "unbalanced close brace"}
+				return nil, &ParseError{lineNo, line, "unbalanced close brace"}
 			}
 			c.Upsert(cur)
 			cur = nil
 		case strings.HasSuffix(line, "{"):
 			if cur != nil {
-				return nil, &ParseError{lineNo + 1, line, "nested block"}
+				return nil, &ParseError{lineNo, line, "nested block"}
 			}
 			header := strings.TrimSpace(strings.TrimSuffix(line, "{"))
-			s, err := stanzaFromHeader(header)
+			s, err := stanzaFromHeader(sc, header)
 			if err != nil {
-				return nil, &ParseError{lineNo + 1, line, err.Error()}
+				return nil, &ParseError{lineNo, line, err.Error()}
 			}
 			cur = s
 		case strings.HasSuffix(line, ";"):
 			if cur == nil {
-				return nil, &ParseError{lineNo + 1, line, "option outside block"}
+				return nil, &ParseError{lineNo, line, "option outside block"}
 			}
-			if err := parseOption(cur, strings.TrimSuffix(line, ";")); err != nil {
-				return nil, &ParseError{lineNo + 1, line, err.Error()}
+			if err := parseOption(sc, cur, strings.TrimSuffix(line, ";")); err != nil {
+				return nil, &ParseError{lineNo, line, err.Error()}
 			}
 		default:
-			return nil, &ParseError{lineNo + 1, line, "unrecognized line"}
+			return nil, &ParseError{lineNo, line, "unrecognized line"}
 		}
 	}
 	if cur != nil {
 		return nil, &ParseError{0, "", "unterminated block"}
 	}
+	sc.FinishConfig(c)
 	return c, nil
 }
 
 // stanzaFromHeader maps a JunOS block header to a new stanza with its
 // vendor-agnostic type.
-func stanzaFromHeader(header string) (*confmodel.Stanza, error) {
-	fields := strings.Fields(header)
+func stanzaFromHeader(sc *confmodel.Scratch, header string) (*confmodel.Stanza, error) {
+	fields := sc.Fields(header)
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("empty block header")
 	}
 	switch {
 	case fields[0] == "interfaces" && len(fields) == 2:
-		return confmodel.NewStanza(confmodel.TypeInterface, fields[1]), nil
+		return sc.NewStanza(confmodel.TypeInterface, fields[1]), nil
 	case fields[0] == "vlans" && len(fields) == 2:
-		return confmodel.NewStanza(confmodel.TypeVLAN, fields[1]), nil
+		return sc.NewStanza(confmodel.TypeVLAN, fields[1]), nil
 	case fields[0] == "firewall" && len(fields) == 3 && fields[1] == "filter":
-		return confmodel.NewStanza(confmodel.TypeACL, fields[2]), nil
+		return sc.NewStanza(confmodel.TypeACL, fields[2]), nil
 	case fields[0] == "protocols" && len(fields) == 3 && fields[1] == "bgp":
-		s := confmodel.NewStanza(confmodel.TypeBGP, fields[2])
+		s := sc.NewStanza(confmodel.TypeBGP, fields[2])
 		s.Set("local-as", fields[2])
 		return s, nil
 	case fields[0] == "protocols" && len(fields) == 3 && fields[1] == "ospf":
-		return confmodel.NewStanza(confmodel.TypeOSPF, fields[2]), nil
+		return sc.NewStanza(confmodel.TypeOSPF, fields[2]), nil
 	case fields[0] == "load-balancing" && len(fields) == 3 && fields[1] == "pool":
-		return confmodel.NewStanza(confmodel.TypePool, fields[2]), nil
+		return sc.NewStanza(confmodel.TypePool, fields[2]), nil
 	case fields[0] == "login" && len(fields) == 3 && fields[1] == "user":
-		return confmodel.NewStanza(confmodel.TypeUser, fields[2]), nil
+		return sc.NewStanza(confmodel.TypeUser, fields[2]), nil
 	case header == "snmp":
-		return confmodel.NewStanza(confmodel.TypeSNMP, "global"), nil
+		return sc.NewStanza(confmodel.TypeSNMP, "global"), nil
 	case header == "ntp":
-		return confmodel.NewStanza(confmodel.TypeNTP, "global"), nil
+		return sc.NewStanza(confmodel.TypeNTP, "global"), nil
 	case header == "syslog":
-		return confmodel.NewStanza(confmodel.TypeLogging, "global"), nil
+		return sc.NewStanza(confmodel.TypeLogging, "global"), nil
 	case fields[0] == "class-of-service" && len(fields) == 2:
-		return confmodel.NewStanza(confmodel.TypeQoS, fields[1]), nil
+		return sc.NewStanza(confmodel.TypeQoS, fields[1]), nil
 	case header == "sflow":
-		return confmodel.NewStanza(confmodel.TypeSflow, "global"), nil
+		return sc.NewStanza(confmodel.TypeSflow, "global"), nil
 	case header == "stp":
-		return confmodel.NewStanza(confmodel.TypeSTP, "global"), nil
+		return sc.NewStanza(confmodel.TypeSTP, "global"), nil
 	case header == "link-fault-management":
-		return confmodel.NewStanza(confmodel.TypeUDLD, "global"), nil
+		return sc.NewStanza(confmodel.TypeUDLD, "global"), nil
 	case fields[0] == "forwarding-options" && len(fields) == 3 && fields[1] == "dhcp-relay":
-		return confmodel.NewStanza(confmodel.TypeDHCPRelay, fields[2]), nil
+		return sc.NewStanza(confmodel.TypeDHCPRelay, fields[2]), nil
 	case fields[0] == "policy-options" && len(fields) == 3 && fields[1] == "prefix-list":
-		return confmodel.NewStanza(confmodel.TypePrefixList, fields[2]), nil
+		return sc.NewStanza(confmodel.TypePrefixList, fields[2]), nil
 	case fields[0] == "policy-options" && len(fields) == 3 && fields[1] == "policy-statement":
-		return confmodel.NewStanza(confmodel.TypeRouteMap, fields[2]), nil
+		return sc.NewStanza(confmodel.TypeRouteMap, fields[2]), nil
 	case fields[0] == "apply-groups" && len(fields) == 2:
-		return confmodel.NewStanza(confmodel.TypeOther, fields[1]), nil
+		return sc.NewStanza(confmodel.TypeOther, fields[1]), nil
 	default:
 		return nil, fmt.Errorf("unknown block header")
 	}
 }
 
 // parseOption interprets one semicolon-terminated option line.
-func parseOption(s *confmodel.Stanza, line string) error {
-	fields := strings.Fields(line)
+func parseOption(sc *confmodel.Scratch, s *confmodel.Stanza, line string) error {
+	fields := sc.Fields(line)
 	if len(fields) == 0 {
 		return fmt.Errorf("empty option line")
 	}
@@ -312,28 +338,28 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "description" && quoted(line[len("description"):]) != "":
 			s.Set("description", quoted(line[len("description"):]))
 		case fields[0] == "interface" && len(fields) == 2:
-			s.Set("member:"+fields[1], "true")
+			s.Set(sc.Intern2("member:", fields[1]), "true")
 		default:
 			return fmt.Errorf("unknown vlan option")
 		}
 	case confmodel.TypeACL:
 		if fields[0] == "term" && len(fields) >= 3 {
-			s.Set("rule:"+fields[1], quoted(strings.Join(fields[2:], " ")))
+			s.Set(sc.Intern2("rule:", fields[1]), sc.InternJoinTrim(fields[2:], "\""))
 		} else {
 			return fmt.Errorf("unknown filter option")
 		}
 	case confmodel.TypeBGP:
 		switch {
 		case fields[0] == "neighbor" && len(fields) == 4 && fields[2] == "peer-as":
-			s.Set("neighbor:"+fields[1], fields[3])
+			s.Set(sc.Intern2("neighbor:", fields[1]), fields[3])
 		case fields[0] == "neighbor-export" && len(fields) == 4 && fields[2] == "policy":
-			s.Set("neighbor-rm:"+fields[1], fields[3])
+			s.Set(sc.Intern2("neighbor-rm:", fields[1]), fields[3])
 		case fields[0] == "network" && len(fields) == 2:
-			s.Set("network:"+fields[1], "true")
+			s.Set(sc.Intern2("network:", fields[1]), "true")
 		case fields[0] == "import" && len(fields) == 4 && fields[1] == "prefix-list":
-			s.Set("prefix-list:"+fields[2], fields[3])
+			s.Set(sc.Intern2("prefix-list:", fields[2]), fields[3])
 		case fields[0] == "export" && len(fields) == 5 && fields[1] == "policy" && fields[3] == "from":
-			s.Set("route-map:"+fields[2], fields[4])
+			s.Set(sc.Intern2("route-map:", fields[2]), fields[4])
 		default:
 			return fmt.Errorf("unknown bgp option")
 		}
@@ -342,7 +368,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "area" && len(fields) == 2:
 			s.Set("area", fields[1])
 		case fields[0] == "network" && len(fields) == 4 && fields[2] == "area":
-			s.Set("network:"+fields[1], fields[3])
+			s.Set(sc.Intern2("network:", fields[1]), fields[3])
 		default:
 			return fmt.Errorf("unknown ospf option")
 		}
@@ -351,7 +377,7 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "monitor" && len(fields) == 2:
 			s.Set("monitor", fields[1])
 		case fields[0] == "member" && len(fields) == 4 && fields[2] == "weight":
-			s.Set("member:"+fields[1], fields[3])
+			s.Set(sc.Intern2("member:", fields[1]), fields[3])
 		default:
 			return fmt.Errorf("unknown pool option")
 		}
@@ -369,13 +395,13 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "community" && len(fields) == 2:
 			s.Set("community", fields[1])
 		case fields[0] == "trap-target" && len(fields) == 2:
-			s.Set("host:"+fields[1], "true")
+			s.Set(sc.Intern2("host:", fields[1]), "true")
 		default:
 			return fmt.Errorf("unknown snmp option")
 		}
 	case confmodel.TypeNTP:
 		if fields[0] == "server" && len(fields) == 2 {
-			s.Set("server:"+fields[1], "true")
+			s.Set(sc.Intern2("server:", fields[1]), "true")
 		} else {
 			return fmt.Errorf("unknown ntp option")
 		}
@@ -384,13 +410,13 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "level" && len(fields) == 2:
 			s.Set("level", fields[1])
 		case fields[0] == "host" && len(fields) == 2:
-			s.Set("host:"+fields[1], "true")
+			s.Set(sc.Intern2("host:", fields[1]), "true")
 		default:
 			return fmt.Errorf("unknown syslog option")
 		}
 	case confmodel.TypeQoS:
 		if fields[0] == "forwarding-class" && len(fields) == 4 && fields[2] == "bandwidth" {
-			s.Set("class:"+fields[1], fields[3])
+			s.Set(sc.Intern2("class:", fields[1]), fields[3])
 		} else {
 			return fmt.Errorf("unknown class-of-service option")
 		}
@@ -425,19 +451,19 @@ func parseOption(s *confmodel.Stanza, line string) error {
 		case fields[0] == "vlan" && len(fields) == 2:
 			s.Set("vlan", fields[1])
 		case fields[0] == "server-group" && len(fields) == 2:
-			s.Set("server:"+fields[1], "true")
+			s.Set(sc.Intern2("server:", fields[1]), "true")
 		default:
 			return fmt.Errorf("unknown dhcp-relay option")
 		}
 	case confmodel.TypePrefixList:
 		if fields[0] == "rule" && len(fields) >= 3 {
-			s.Set("rule:"+fields[1], quoted(strings.Join(fields[2:], " ")))
+			s.Set(sc.Intern2("rule:", fields[1]), sc.InternJoinTrim(fields[2:], "\""))
 		} else {
 			return fmt.Errorf("unknown prefix-list option")
 		}
 	case confmodel.TypeRouteMap:
 		if fields[0] == "term" && len(fields) >= 3 {
-			s.Set("entry:"+fields[1], quoted(strings.Join(fields[2:], " ")))
+			s.Set(sc.Intern2("entry:", fields[1]), sc.InternJoinTrim(fields[2:], "\""))
 		} else {
 			return fmt.Errorf("unknown policy-statement option")
 		}

@@ -138,13 +138,19 @@ func (a *Archive) TotalBytes() int64 {
 // Changes returns the device's configuration changes: successive snapshot
 // pairs with differing fingerprints, in time order.
 func (a *Archive) Changes(device string) []ChangeRecord {
+	return a.AppendChanges(nil, device)
+}
+
+// AppendChanges appends the device's configuration changes onto dst and
+// returns the extended slice, so callers scanning many devices can reuse
+// one buffer (pass dst[:0]) instead of allocating a fresh slice per call.
+func (a *Archive) AppendChanges(dst []ChangeRecord, device string) []ChangeRecord {
 	hist := a.byDevice[device]
-	var out []ChangeRecord
 	for i := 1; i < len(hist); i++ {
 		if hist[i].Fingerprint == hist[i-1].Fingerprint {
 			continue
 		}
-		out = append(out, ChangeRecord{
+		dst = append(dst, ChangeRecord{
 			Device:    device,
 			Time:      hist[i].Time,
 			Login:     hist[i].Login,
@@ -153,7 +159,7 @@ func (a *Archive) Changes(device string) []ChangeRecord {
 			After:     hist[i],
 		})
 	}
-	return out
+	return dst
 }
 
 // ChangesInMonth returns the device's changes whose time falls in month m.

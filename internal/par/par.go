@@ -71,6 +71,76 @@ func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, err
 	return results, nil
 }
 
+// MapLocal is Map with per-worker local state: newLocal() is called once
+// per worker goroutine (once total on the inline workers<=1 path) and the
+// returned value is passed to every fn invocation that worker runs. It
+// exists so hot loops can thread reusable scratch buffers (e.g.
+// confmodel.Scratch) through the pool without sharing them across
+// goroutines: each local is owned by exactly one worker, so fn may mutate
+// it freely, and because locals hold only caches/buffers the output stays
+// byte-identical at any worker count.
+func MapLocal[T, R, L any](workers int, items []T, newLocal func() L, fn func(local L, i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		local := newLocal()
+		for i, item := range items {
+			r, err := fn(local, i, item)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			local := newLocal()
+			for {
+				// Same dispatch discipline as ForEachN: check failure before
+				// claiming, so the lowest-index error is deterministic.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := fn(local, i, items[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // ForEach runs fn(i, items[i]) for every item with Map's scheduling and
 // error semantics, discarding results.
 func ForEach[T any](workers int, items []T, fn func(int, T) error) error {

@@ -1,0 +1,47 @@
+package practices
+
+import (
+	"testing"
+
+	"mpa/internal/osp"
+)
+
+// TestAllocBudgetInferNetwork pins the end-to-end allocation cost of
+// inferring one network-month-window, normalized per archived snapshot —
+// parse, diff, grouping, and metrics together. This is the stage budget
+// behind BenchmarkInference: per-stage parse/diff budgets live next to
+// their packages, and this cap catches regressions in the engine plumbing
+// between them (cursor handling, change assembly, metric evaluation).
+// CI runs `go test -run AllocBudget ./...`; exceeding the budget fails.
+func TestAllocBudgetInferNetwork(t *testing.T) {
+	p := osp.Small(5)
+	p.Networks = 3
+	o := osp.Generate(p)
+	engine := NewEngine(o.Inventory, o.Archive)
+	window := o.Params.Months()
+	nw := o.Inventory.Networks[0]
+	snaps := 0
+	for _, dev := range nw.Devices {
+		snaps += len(o.Archive.Snapshots(dev.Name))
+	}
+	if snaps == 0 {
+		t.Fatal("fixture network has no snapshots")
+	}
+	if _, err := engine.AnalyzeNetwork(nw.Name, window); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(8, func() {
+		if _, err := engine.AnalyzeNetwork(nw.Name, window); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perSnap := avg / float64(snaps)
+	t.Logf("inference: %.0f allocs/network (%d snapshots, %.1f allocs/snapshot)", avg, snaps, perSnap)
+	// Budget: parsing dominates (~5 allocs/stanza at tens of stanzas per
+	// snapshot) plus engine bookkeeping. Pre-optimization this path sat
+	// near 900 allocs/snapshot.
+	const budget = 300.0
+	if perSnap > budget {
+		t.Errorf("inference allocations %.1f/snapshot exceed budget %.0f", perSnap, budget)
+	}
+}

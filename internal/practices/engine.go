@@ -156,17 +156,39 @@ func (e *Engine) dialect(dev *netmodel.Device) confmodel.Dialect {
 	return e.junos
 }
 
+// netScratch is the per-worker reusable state behind Analyze: the dialect
+// parsing scratch (field buffer + interner) and a diff buffer. A
+// netScratch is owned by exactly one goroutine at a time — par.MapLocal
+// hands each worker its own — which keeps parallel inference race-free
+// while the buffers amortize across every snapshot the worker touches.
+// It holds only caches and transient buffers, never results, so the
+// analysis output is byte-identical at any worker count.
+type netScratch struct {
+	sc   *confmodel.Scratch
+	diff []confdiff.StanzaChange
+}
+
+func newNetScratch() *netScratch { return &netScratch{sc: confmodel.NewScratch()} }
+
 // parse parses a snapshot's text with the device's vendor dialect,
 // memoized by text content when caching is enabled. The disk tier stores
 // the canonical rendering of the parsed config — Render is the encode,
 // Parse the decode, so the codec is exactly the dialect's (fuzz- and
-// property-tested) round trip.
-func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config, error) {
+// property-tested) round trip. The worker's scratch backs the parse;
+// parsed configs retain only immutable strings (see confmodel.Scratch),
+// so caching and sharing them across workers stays safe.
+func (e *Engine) parse(ns *netScratch, dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config, error) {
 	d := e.dialect(dev)
+	parse := func(text string) (*confmodel.Config, error) {
+		if sp, ok := d.(confmodel.ScratchParser); ok && ns != nil {
+			return sp.ParseScratch(text, ns.sc)
+		}
+		return d.Parse(text)
+	}
 	var cfg *confmodel.Config
 	var err error
 	if e.parseCache == nil {
-		cfg, err = d.Parse(s.Text)
+		cfg, err = parse(s.Text)
 	} else {
 		key := cache.KeyOf("parse/v1", d.Name(), s.Text)
 		codec := cache.Codec[*confmodel.Config]{
@@ -174,7 +196,7 @@ func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config
 			Decode: func(b []byte) (*confmodel.Config, error) { return d.Parse(string(b)) },
 		}
 		cfg, err = cache.GetOrCompute(e.parseCache, key, codec, func() (*confmodel.Config, error) {
-			return d.Parse(s.Text)
+			return parse(s.Text)
 		})
 	}
 	if err != nil {
@@ -186,8 +208,16 @@ func (e *Engine) parse(dev *netmodel.Device, s *nms.Snapshot) (*confmodel.Config
 // diffSnapshots computes the typed stanza changes between two successive
 // snapshots, memoized per text pair (memory tier only: diffs are cheap to
 // recompute from the cached parses, so they do not earn disk files).
-func (e *Engine) diffSnapshots(dialect, oldText, newText string, oldCfg, newCfg *confmodel.Config) []confdiff.StanzaChange {
+// Without the cache the diff lands in the worker's reusable buffer — the
+// result is only valid until the next diffSnapshots call on the same
+// scratch, which computeNetwork respects by consuming it immediately.
+// Cached diffs are shared across callers and so must own their memory.
+func (e *Engine) diffSnapshots(ns *netScratch, dialect, oldText, newText string, oldCfg, newCfg *confmodel.Config) []confdiff.StanzaChange {
 	if e.diffCache == nil {
+		if ns != nil {
+			ns.diff = confdiff.AppendDiff(ns.diff[:0], oldCfg, newCfg)
+			return ns.diff
+		}
 		return confdiff.Diff(oldCfg, newCfg)
 	}
 	key := cache.KeyOf("confdiff/v1", dialect, oldText, newText)
@@ -244,30 +274,30 @@ var monthAnalysisCodec = cache.Codec[[]MonthAnalysis]{
 // network whose inputs are unchanged is answered from the cache without
 // any parsing or diffing.
 func (e *Engine) AnalyzeNetwork(name string, window []months.Month) ([]MonthAnalysis, error) {
-	ma, _, err := e.analyzeNetwork(name, window, e.obs)
+	ma, _, err := e.analyzeNetwork(name, window, e.obs, newNetScratch())
 	return ma, err
 }
 
-// analyzeNetwork is AnalyzeNetwork under an explicit parent span,
-// additionally returning the network's content key (zero when caching is
-// disabled).
-func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.Span) ([]MonthAnalysis, cache.Key, error) {
+// analyzeNetwork is AnalyzeNetwork under an explicit parent span and
+// worker-owned scratch, additionally returning the network's content key
+// (zero when caching is disabled).
+func (e *Engine) analyzeNetwork(name string, window []months.Month, parent *obs.Span, ns *netScratch) ([]MonthAnalysis, cache.Key, error) {
 	nw := e.inv.Network(name)
 	if nw == nil {
 		return nil, cache.Key{}, fmt.Errorf("practices: unknown network %q", name)
 	}
 	if e.netCache == nil {
-		ma, err := e.computeNetwork(nw, window, parent)
+		ma, err := e.computeNetwork(nw, window, parent, ns)
 		return ma, cache.Key{}, err
 	}
 	key := e.networkKey(nw, window)
 	ma, err := cache.GetOrCompute(e.netCache, key, monthAnalysisCodec,
-		func() ([]MonthAnalysis, error) { return e.computeNetwork(nw, window, parent) })
+		func() ([]MonthAnalysis, error) { return e.computeNetwork(nw, window, parent, ns) })
 	return ma, key, err
 }
 
 // computeNetwork runs the actual per-network inference.
-func (e *Engine) computeNetwork(nw *netmodel.Network, window []months.Month, parent *obs.Span) ([]MonthAnalysis, error) {
+func (e *Engine) computeNetwork(nw *netmodel.Network, window []months.Month, parent *obs.Span, ns *netScratch) ([]MonthAnalysis, error) {
 	name := nw.Name
 	nsp := parent.Start(name)
 	defer nsp.End()
@@ -301,7 +331,7 @@ func (e *Engine) computeNetwork(nw *netmodel.Network, window []months.Month, par
 			for cu.pos < len(cu.hist) && cu.hist[cu.pos].Time.Before(end) {
 				snap := cu.hist[cu.pos]
 				cu.pos++
-				cfg, err := e.parse(cu.dev, snap)
+				cfg, err := e.parse(ns, cu.dev, snap)
 				snapsParsed++
 				if err != nil {
 					obs.GetCounter("inference.parse_failures").Add(1)
@@ -313,7 +343,7 @@ func (e *Engine) computeNetwork(nw *netmodel.Network, window []months.Month, par
 					cu.state, cu.prevText = cfg, snap.Text // baseline import, not a change
 					continue
 				}
-				diff := e.diffSnapshots(e.dialect(cu.dev).Name(), cu.prevText, snap.Text, cu.state, cfg)
+				diff := e.diffSnapshots(ns, e.dialect(cu.dev).Name(), cu.prevText, snap.Text, cu.state, cfg)
 				diffsComputed++
 				cu.state, cu.prevText = cfg, snap.Text
 				if len(diff) == 0 {
@@ -394,11 +424,12 @@ func (e *Engine) Analyze(window []months.Month) (map[string][]MonthAnalysis, err
 	}
 	e.analysisKeyOK = false
 	pt := obs.StartProgress("inference", int64(len(e.inv.Networks)))
-	results, err := par.Map(e.workers, e.inv.Networks, func(_ int, nw *netmodel.Network) (netResult, error) {
-		ma, key, err := e.analyzeNetwork(nw.Name, window, sp)
-		pt.Add(1)
-		return netResult{ma: ma, key: key}, err
-	})
+	results, err := par.MapLocal(e.workers, e.inv.Networks, newNetScratch,
+		func(ns *netScratch, _ int, nw *netmodel.Network) (netResult, error) {
+			ma, key, err := e.analyzeNetwork(nw.Name, window, sp, ns)
+			pt.Add(1)
+			return netResult{ma: ma, key: key}, err
+		})
 	pt.Done()
 	if err != nil {
 		return nil, err

@@ -6,8 +6,9 @@
 #   scripts/bench.sh [count]
 #
 # Runs BenchmarkGenerate, BenchmarkInference, BenchmarkInferenceWarmCache,
-# BenchmarkTable3, and BenchmarkSection61 with -count (default 10)
-# repetitions each and writes
+# the per-dialect parse/diff stage benchmarks (BenchmarkParseSnapshot*,
+# BenchmarkDiffPair*), BenchmarkTable3, and BenchmarkSection61 with
+# -count (default 10) repetitions each and writes
 # BENCH_<YYYY-MM-DD>.json in the repo root: one object per benchmark run
 # with ns/op, B/op, and allocs/op, plus the host's CPU count and the
 # GOMAXPROCS/worker setting in effect. Compare two baselines with e.g.
@@ -24,7 +25,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 count="${1:-10}"
-pattern='^(BenchmarkGenerate|BenchmarkInference|BenchmarkInferenceWarmCache|BenchmarkTable3|BenchmarkSection61)$'
+pattern='^(BenchmarkGenerate|BenchmarkInference|BenchmarkInferenceWarmCache|BenchmarkParseSnapshotCisco|BenchmarkParseSnapshotJunos|BenchmarkDiffPairCisco|BenchmarkDiffPairJunos|BenchmarkTable3|BenchmarkSection61)$'
 out="${MPA_BENCH_OUT:-BENCH_$(date +%F).json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
