@@ -18,6 +18,7 @@ import (
 	"mpa/internal/confdiff"
 	"mpa/internal/confmodel"
 	"mpa/internal/experiments"
+	"mpa/internal/ingest"
 	"mpa/internal/junos"
 	"mpa/internal/months"
 	"mpa/internal/netmodel"
@@ -227,3 +228,45 @@ func BenchmarkAblationBinning(b *testing.B)  { benchExperiment(b, "ablation-binn
 func BenchmarkAblationMatching(b *testing.B) { benchExperiment(b, "ablation-matching") }
 func BenchmarkAblationLearners(b *testing.B) { benchExperiment(b, "ablation-learners") }
 func BenchmarkAblationGrouping(b *testing.B) { benchExperiment(b, "ablation-grouping") }
+
+// BenchmarkIngestMonth measures splicing one new month into a warm
+// 20-network framework — the steady-state cost of `mpa watch`, against
+// BenchmarkInference's full rebuild of the same organization. Each
+// iteration re-applies the same window extension to the same warm
+// framework: the environment pointer is reset off-timer, so the timed
+// region is exactly validate → copy-on-write splice → incremental
+// inference (warm content-addressed caches) → dataset rebuild → atomic
+// swap → query invalidation.
+func BenchmarkIngestMonth(b *testing.B) {
+	p := osp.Small(2)
+	p.Networks = 20
+	p.End = p.End.Next() // one month beyond BenchmarkInference's window
+	o := osp.Generate(p)
+	last := p.End
+	arch, log := ingest.Truncate(o.Archive, o.Tickets, last.Prev())
+	f, err := NewCached(o.Inventory, arch, log, p.Start, last.Prev(), CacheConfig{Enabled: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := ingest.SliceMonth(o.Archive, o.Tickets, last)
+	env0 := f.environment()
+	end0 := f.config().End
+	// Prime once so the engine's parse/diff caches have seen the new
+	// month's texts, as they would mid-stream.
+	if _, err := f.Ingest(u); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f.env.Store(env0)
+		f.cfgMu.Lock()
+		f.cfg.End = end0
+		f.cfgMu.Unlock()
+		b.StartTimer()
+		if _, err := f.Ingest(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

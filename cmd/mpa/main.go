@@ -22,6 +22,14 @@
 //	              the flight recorder's slowest-stage list
 //	serve         load once and answer analysis queries over HTTP
 //	              (-addr, -max-inflight); see internal/serve
+//	watch         serve plus streaming ingest: poll -watch-dir for
+//	              update files and/or -replay N synthetic months, apply
+//	              each in place (POST /v1/ingest works too), and push
+//	              deltas to GET /v1/stream subscribers
+//	nextmonth     print the month after the configured window as a wire
+//	              update (JSON) on stdout — generation is prefix-stable,
+//	              so the output applies cleanly to a running `mpa watch`
+//	              or `mpa serve` with the same seed/networks/months
 //
 // Flags:
 //
@@ -45,6 +53,10 @@
 //	-slow-ms N     serve queries at least this slow are logged at Warn
 //	               with a per-stage breakdown and pinned in the flight
 //	               recorder (default 1000; 0 disables)
+//	-watch-dir D   directory `watch` polls for update files (*.json,
+//	               applied once each in filename order)
+//	-poll D        watch poll interval / replay cadence (default 2s)
+//	-replay N      `watch` replays N synthetic months, one per -poll tick
 //
 // Observability flags (shared with mpa-experiments):
 //
@@ -62,16 +74,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"mpa"
 	"mpa/internal/cache"
+	"mpa/internal/ingest"
 	"mpa/internal/obs"
 	"mpa/internal/par"
 	"mpa/internal/serve"
@@ -93,6 +109,9 @@ func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address for the serve subcommand")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent query limit for serve (0 = 2×GOMAXPROCS)")
 	slowMS := flag.Int("slow-ms", 1000, "serve queries at least this slow (milliseconds) are logged at Warn with a per-stage breakdown and pinned in the flight recorder; 0 disables")
+	watchDir := flag.String("watch-dir", "", "directory the watch subcommand polls for update files (*.json)")
+	poll := flag.Duration("poll", 2*time.Second, "watch poll interval and replay cadence")
+	replayN := flag.Int("replay", 0, "synthetic months the watch subcommand replays, one per poll tick")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -130,6 +149,18 @@ func main() {
 	start, _ := mpa.StudyWindow()
 	cfg.Start = start
 	cfg.End = start.Add(*monthsN - 1)
+
+	// nextmonth only generates the update feed; no framework needed.
+	if cmd == "nextmonth" {
+		ups, err := mpa.NextMonths(cfg, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(ups[0]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	obs.Logger().Info("generating organization",
 		"networks", cfg.Networks, "months", *monthsN, "seed", cfg.Seed)
@@ -240,6 +271,69 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case "watch":
+		srv := serve.New(f, serve.Config{
+			Addr:          *addr,
+			MaxInFlight:   *maxInflight,
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		})
+		bound, err := srv.Listen()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mpa: watching on http://%s (POST /v1/ingest, GET /v1/stream; SIGINT/SIGTERM to stop)\n", bound)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		var wg sync.WaitGroup
+		if *watchDir != "" {
+			w := ingest.NewWatcher(*watchDir, *poll, func(path string, u *ingest.Update) error {
+				res, err := f.Ingest(u)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("mpa: ingested %s from %s: %d snapshots, %d tickets, %d networks\n",
+					res.MonthName, filepath.Base(path), res.Snapshots, res.Tickets, len(res.Networks))
+				return nil
+			})
+			fmt.Printf("mpa: polling %s every %s for update files\n", *watchDir, *poll)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = w.Run(ctx)
+			}()
+		}
+		if *replayN > 0 {
+			ups, err := mpa.NextMonths(cfg, *replayN)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("mpa: replaying %d synthetic months, one per %s\n", *replayN, *poll)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tick := time.NewTicker(*poll)
+				defer tick.Stop()
+				for _, u := range ups {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+					}
+					res, err := f.Ingest(u)
+					if err != nil {
+						obs.Logger().Error("watch: replay ingest failed", "err", err)
+						return
+					}
+					fmt.Printf("mpa: replayed %s: %d snapshots, %d tickets, %d networks\n",
+						res.MonthName, res.Snapshots, res.Tickets, len(res.Networks))
+				}
+			}()
+		}
+		err = srv.Serve(ctx)
+		stop()
+		wg.Wait()
+		if err != nil {
+			fatal(err)
+		}
 	case "stats":
 		// Exercise the analysis stages beyond generation/inference/dataset
 		// (which ran in NewSynthetic), then print the per-stage breakdown.
@@ -290,7 +384,7 @@ func printExperiment(f *mpa.Framework, id string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mpa [flags] summary|rank|causal|predict|online|characterize|experiment|export|report|stats|serve")
+	fmt.Fprintln(os.Stderr, "usage: mpa [flags] summary|rank|causal|predict|online|characterize|experiment|export|report|stats|serve|watch|nextmonth")
 	flag.PrintDefaults()
 }
 

@@ -101,6 +101,27 @@ func NewEnvCached(p osp.Params, cc cache.Config) (*Env, error) {
 	}, nil
 }
 
+// Evolve returns a new Env holding the given (spliced) data while
+// carrying over e's observability root and the report digests recorded
+// so far. The incremental ingest path builds each post-update state as a
+// fresh Env and swaps it in atomically, so in-flight experiment runs
+// keep reading a consistent snapshot; the shared root span means
+// pipeline stats keep accruing in one tree across updates. The digest
+// map is copied, never shared — re-run experiments on the evolved Env
+// overwrite their entries without racing readers of the old one.
+func (e *Env) Evolve(p osp.Params, o *osp.OSP, analysis map[string][]practices.MonthAnalysis, data *dataset.Dataset) *Env {
+	ne := &Env{Params: p, OSP: o, Analysis: analysis, Data: data, Obs: e.Obs}
+	e.digestMu.Lock()
+	defer e.digestMu.Unlock()
+	if len(e.digests) > 0 {
+		ne.digests = make(map[string]string, len(e.digests))
+		for id, d := range e.digests {
+			ne.digests[id] = d
+		}
+	}
+	return ne
+}
+
 // Window returns the study months.
 func (e *Env) Window() []months.Month { return e.Params.Months() }
 

@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"sync"
+
+	"mpa/internal/obs"
+)
+
+// Event is one server-sent event: a type tag plus a pre-encoded JSON
+// payload. Payloads are encoded once by the publisher and shared across
+// subscribers, never re-marshaled per connection.
+type Event struct {
+	Type string // SSE event name: "delta", "rank", ...
+	Data []byte // JSON payload (single line)
+}
+
+// Hub fans ingest events out to SSE subscribers. Publish never blocks:
+// each subscriber owns a buffered channel, and a subscriber too slow to
+// drain its buffer loses events (counted under ingest.stream_dropped)
+// rather than stalling the ingest path or other subscribers. Events
+// published from one goroutine arrive at every live subscriber in
+// publish order — the ordering guarantee the SSE tests pin.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[int]chan Event
+	next int
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{subs: map[int]chan Event{}} }
+
+// Subscribe registers a subscriber with the given channel buffer
+// (non-positive means 64) and returns its event channel plus a cancel
+// function. Cancel is idempotent and closes the channel, so range loops
+// over it terminate.
+func (h *Hub) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	h.mu.Lock()
+	id := h.next
+	h.next++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	obs.GetGauge("ingest.stream_subscribers").Set(float64(h.Subscribers()))
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, id)
+			h.mu.Unlock()
+			close(ch)
+			obs.GetGauge("ingest.stream_subscribers").Set(float64(h.Subscribers()))
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers returns the live subscriber count. The ingest path uses it
+// to skip building events nobody is listening for.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Publish delivers the events, in order, to every current subscriber.
+// Slow subscribers drop events instead of blocking the caller.
+func (h *Hub) Publish(evs ...Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ev := range evs {
+		for _, ch := range h.subs {
+			select {
+			case ch <- ev:
+			default:
+				obs.GetCounter("ingest.stream_dropped").Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mpa/internal/months"
+	"mpa/internal/osp"
+)
+
+// testOrg generates a small organization shared by the validation tests.
+func testOrg(t *testing.T) *osp.OSP {
+	t.Helper()
+	p := osp.Small(3)
+	p.Networks = 4
+	p.End = p.Start.Add(1)
+	return osp.Generate(p)
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	good := `{"month":"2014-07","snapshots":[],"tickets":[]}`
+	if _, err := Decode(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid update rejected: %v", err)
+	}
+	bad := `{"month":"2014-07","snapshotz":[]}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+	if _, err := Decode(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	o := testOrg(t)
+	m := o.Params.End.Next()
+	dev := o.Inventory.Networks[0].Devices[0].Name
+	nw := o.Inventory.Networks[0].Name
+	in := func(d int) time.Time { return m.Start().Add(time.Duration(d) * 24 * time.Hour) }
+	snap := func(device string, at time.Time) SnapshotEntry {
+		return SnapshotEntry{Device: device, Time: at, Login: "alice", Text: "hostname x\n"}
+	}
+
+	cases := []struct {
+		name string
+		u    Update
+		want string // substring of the expected error; "" means accept
+	}{
+		{"accepts valid", Update{Month: m.String(), Snapshots: []SnapshotEntry{snap(dev, in(1))},
+			Tickets: []TicketEntry{{Network: nw, Origin: "alarm", Opened: in(2)}}}, ""},
+		{"bad month string", Update{Month: "July 2014", Snapshots: []SnapshotEntry{snap(dev, in(1))}}, "bad month"},
+		{"empty update", Update{Month: m.String()}, "no snapshots or tickets"},
+		{"unknown device", Update{Month: m.String(), Snapshots: []SnapshotEntry{snap("no-such-device", in(1))}}, "unknown device"},
+		{"snapshot outside month", Update{Month: m.String(),
+			Snapshots: []SnapshotEntry{snap(dev, m.End().Add(time.Hour))}}, "outside update month"},
+		{"empty text", Update{Month: m.String(),
+			Snapshots: []SnapshotEntry{{Device: dev, Time: in(1), Login: "alice"}}}, "empty configuration text"},
+		{"time regression within update", Update{Month: m.String(),
+			Snapshots: []SnapshotEntry{snap(dev, in(2)), snap(dev, in(1))}}, "before device's last snapshot"},
+		{"unknown network", Update{Month: m.String(),
+			Tickets: []TicketEntry{{Network: "no-such-network", Origin: "alarm", Opened: in(1)}}}, "unknown network"},
+		{"ticket outside month", Update{Month: m.String(),
+			Tickets: []TicketEntry{{Network: nw, Origin: "alarm", Opened: m.End().Add(time.Hour)}}}, "outside update month"},
+		{"bad origin", Update{Month: m.String(),
+			Tickets: []TicketEntry{{Network: nw, Origin: "gremlins", Opened: in(1)}}}, "origin"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := tc.u.Compile(o.Inventory, o.Archive)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if got := c.Networks; len(got) != 1 || got[0] != nw {
+					t.Fatalf("touched networks %v, want [%s]", got, nw)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompileRejectsRegressionAgainstArchive pins that per-device
+// monotonicity is checked against the archived history, not just within
+// the update.
+func TestCompileRejectsRegressionAgainstArchive(t *testing.T) {
+	o := testOrg(t)
+	dev := o.Inventory.Networks[0].Devices[0].Name
+	hist := o.Archive.Snapshots(dev)
+	last := hist[len(hist)-1].Time
+	m := months.Of(last)
+	u := Update{Month: m.String(), Snapshots: []SnapshotEntry{
+		{Device: dev, Time: last.Add(-time.Minute), Login: "alice", Text: "hostname x\n"},
+	}}
+	if _, err := u.Compile(o.Inventory, o.Archive); err == nil {
+		t.Fatal("snapshot older than archived history accepted")
+	}
+}
+
+// TestCompileFingerprintCarry pins the cross-scheme fingerprint rule: a
+// re-snapshot with text identical to its predecessor (archived or within
+// the update) keeps the predecessor's fingerprint, so no spurious change
+// event appears at the generator/wire boundary.
+func TestCompileFingerprintCarry(t *testing.T) {
+	o := testOrg(t)
+	m := o.Params.End.Next()
+	dev := o.Inventory.Networks[0].Devices[0].Name
+	hist := o.Archive.Snapshots(dev)
+	last := hist[len(hist)-1]
+
+	u := Update{Month: m.String(), Snapshots: []SnapshotEntry{
+		{Device: dev, Time: m.Start().Add(time.Hour), Login: "alice", Text: last.Text},
+		{Device: dev, Time: m.Start().Add(2 * time.Hour), Login: "alice", Text: last.Text + "! drift\n"},
+		{Device: dev, Time: m.Start().Add(3 * time.Hour), Login: "alice", Text: last.Text + "! drift\n"},
+	}}
+	c, err := u.Compile(o.Inventory, o.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshots[0].Fingerprint != last.Fingerprint {
+		t.Errorf("unchanged re-snapshot got fingerprint %q, want archived %q",
+			c.Snapshots[0].Fingerprint, last.Fingerprint)
+	}
+	if c.Snapshots[1].Fingerprint == last.Fingerprint {
+		t.Error("changed snapshot kept the archived fingerprint")
+	}
+	if c.Snapshots[2].Fingerprint != c.Snapshots[1].Fingerprint {
+		t.Errorf("unchanged in-update re-snapshot got %q, want predecessor's %q",
+			c.Snapshots[2].Fingerprint, c.Snapshots[1].Fingerprint)
+	}
+}
+
+// TestTruncateSliceRoundTrip pins the replay identity the equivalence
+// suite depends on: truncating at month j and re-applying SliceMonth for
+// j+1..k reassembles exactly the original archive and ticket log.
+func TestTruncateSliceRoundTrip(t *testing.T) {
+	p := osp.Small(4)
+	p.Networks = 5
+	p.End = p.Start.Add(3)
+	o := osp.Generate(p)
+	cut := p.Start.Add(1)
+
+	arch, log := Truncate(o.Archive, o.Tickets, cut)
+	// The truncated view must contain no records after the cut.
+	for _, dev := range arch.Devices() {
+		for _, s := range arch.Snapshots(dev) {
+			if !s.Time.Before(cut.End()) {
+				t.Fatalf("truncated archive holds %s at %v, after %s", dev, s.Time, cut)
+			}
+		}
+	}
+	for _, tk := range log.All() {
+		if !tk.Opened.Before(cut.End()) {
+			t.Fatalf("truncated log holds ticket opened %v, after %s", tk.Opened, cut)
+		}
+	}
+	if len(arch.SpecialAccounts()) != len(o.Archive.SpecialAccounts()) {
+		t.Fatal("truncate dropped special accounts")
+	}
+
+	// Replay the tail months through the wire format.
+	for m := cut.Next(); !p.End.Before(m); m = m.Next() {
+		u := SliceMonth(o.Archive, o.Tickets, m)
+		b, err := json.Marshal(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u2, err := Decode(bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := u2.Compile(o.Inventory, arch)
+		if err != nil {
+			t.Fatalf("compile month %s: %v", m, err)
+		}
+		for _, s := range c.Snapshots {
+			if err := arch.Record(s); err != nil {
+				t.Fatalf("record month %s: %v", m, err)
+			}
+		}
+		for i := range c.Tickets {
+			log.File(c.Tickets[i])
+		}
+	}
+
+	// Identical per-device histories. Fingerprint strings legitimately
+	// differ across the boundary (the generator digests structure, the
+	// wire path digests text), so compare the payload fields exactly and
+	// the fingerprints by their equality pattern — consecutive snapshots
+	// share a fingerprint iff their texts match, which is all the change
+	// inference reads from them.
+	origDevs := o.Archive.Devices()
+	if got := arch.Devices(); !reflect.DeepEqual(got, origDevs) {
+		t.Fatalf("device sets differ: %v vs %v", got, origDevs)
+	}
+	for _, dev := range origDevs {
+		orig, got := o.Archive.Snapshots(dev), arch.Snapshots(dev)
+		if len(orig) != len(got) {
+			t.Fatalf("%s: %d snapshots, want %d", dev, len(got), len(orig))
+		}
+		for i := range orig {
+			o, g := *orig[i], *got[i]
+			o.Fingerprint, g.Fingerprint = "", ""
+			if !reflect.DeepEqual(o, g) {
+				t.Fatalf("%s snapshot %d differs:\n got %+v\nwant %+v", dev, i, g, o)
+			}
+			if i > 0 {
+				same := got[i].Fingerprint == got[i-1].Fingerprint
+				if want := got[i].Text == got[i-1].Text; same != want {
+					t.Fatalf("%s snapshot %d: fingerprint equality %v, text equality %v",
+						dev, i, same, want)
+				}
+			}
+		}
+	}
+	// Ticket multisets match per month (replay appends later months at
+	// the end, so IDs and global order legitimately differ).
+	if lo, lr := len(o.Tickets.All()), len(log.All()); lo != lr {
+		t.Fatalf("%d tickets after replay, want %d", lr, lo)
+	}
+	for m := p.Start; !p.End.Before(m); m = m.Next() {
+		for _, nw := range o.Inventory.Networks {
+			if got, want := log.HealthCount(nw.Name, m), o.Tickets.HealthCount(nw.Name, m); got != want {
+				t.Fatalf("%s %s: health count %d, want %d", nw.Name, m, got, want)
+			}
+		}
+	}
+}
+
+func TestHubOrderingAndCancel(t *testing.T) {
+	h := NewHub()
+	ch1, cancel1 := h.Subscribe(8)
+	ch2, cancel2 := h.Subscribe(8)
+	defer cancel2()
+	if h.Subscribers() != 2 {
+		t.Fatalf("subscribers=%d, want 2", h.Subscribers())
+	}
+
+	evs := []Event{{Type: "delta", Data: []byte(`1`)}, {Type: "delta", Data: []byte(`2`)}, {Type: "rank", Data: []byte(`3`)}}
+	h.Publish(evs...)
+	for _, ch := range []<-chan Event{ch1, ch2} {
+		for i, want := range evs {
+			got := <-ch
+			if got.Type != want.Type || string(got.Data) != string(want.Data) {
+				t.Fatalf("event %d: got %s %s, want %s %s", i, got.Type, got.Data, want.Type, want.Data)
+			}
+		}
+	}
+
+	cancel1()
+	cancel1() // idempotent
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers=%d after cancel, want 1", h.Subscribers())
+	}
+	if _, ok := <-ch1; ok {
+		t.Fatal("canceled channel not closed")
+	}
+	h.Publish(Event{Type: "delta", Data: []byte(`4`)}) // must not panic or reach ch1
+	if got := <-ch2; string(got.Data) != "4" {
+		t.Fatalf("live subscriber got %s, want 4", got.Data)
+	}
+}
+
+func TestHubDropsSlowSubscriber(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe(1)
+	defer cancel()
+	h.Publish(Event{Data: []byte(`1`)}, Event{Data: []byte(`2`)}, Event{Data: []byte(`3`)})
+	if got := <-ch; string(got.Data) != "1" {
+		t.Fatalf("got %s, want the first event", got.Data)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("overflow event %s delivered, want dropped", ev.Data)
+	default:
+	}
+}
+
+func TestWatcherScan(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliberately created out of lexicographic order; Scan must sort.
+	write("2014-08.json", `{"month":"2014-08","snapshots":[],"tickets":[]}`)
+	write("2014-07.json", `{"month":"2014-07","snapshots":[],"tickets":[]}`)
+	write("notes.txt", `ignored`)
+	write("broken.json", `{nope`)
+
+	var got []string
+	w := NewWatcher(dir, 0, func(path string, u *Update) error {
+		got = append(got, u.Month)
+		return nil
+	})
+	applied, err := w.Scan()
+	if err == nil {
+		t.Fatal("Scan swallowed the malformed file's error")
+	}
+	if applied != 2 {
+		t.Fatalf("applied=%d, want 2", applied)
+	}
+	if want := []string{"2014-07", "2014-08"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("apply order %v, want %v", got, want)
+	}
+
+	// A second pass applies nothing: clean and broken files alike are
+	// seen exactly once.
+	applied, err = w.Scan()
+	if err != nil || applied != 0 {
+		t.Fatalf("second scan: applied=%d err=%v, want 0 nil", applied, err)
+	}
+
+	// New files are picked up.
+	write("2014-09.json", `{"month":"2014-09","snapshots":[],"tickets":[]}`)
+	if applied, err = w.Scan(); err != nil || applied != 1 {
+		t.Fatalf("third scan: applied=%d err=%v, want 1 nil", applied, err)
+	}
+}

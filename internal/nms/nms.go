@@ -84,6 +84,26 @@ func (a *Archive) Record(s *Snapshot) error {
 	return nil
 }
 
+// Clone returns an independent archive sharing b's snapshot records.
+// Device histories are re-sliced with capacity clamped to length, so a
+// Record into the clone always reallocates instead of writing into the
+// original's backing array: the incremental ingest path appends a new
+// month into a clone while readers of the original keep iterating it.
+// Snapshots themselves are immutable and stay shared.
+func (a *Archive) Clone() *Archive {
+	b := &Archive{
+		byDevice: make(map[string][]*Snapshot, len(a.byDevice)),
+		special:  make(map[string]bool, len(a.special)),
+	}
+	for login := range a.special {
+		b.special[login] = true
+	}
+	for dev, hist := range a.byDevice {
+		b.byDevice[dev] = hist[:len(hist):len(hist)]
+	}
+	return b
+}
+
 // Merge absorbs another archive: every device history and special
 // account of b is appended into a. Histories of devices present in both
 // archives are concatenated (a's first), so callers merging archives

@@ -1,0 +1,47 @@
+package osp
+
+import "testing"
+
+// TestGenerationPrefixStable pins the property the streaming-replay
+// tooling relies on (mpa watch -replay, mpa nextmonth): regenerating the
+// same organization with a longer window reproduces the shorter window's
+// records exactly and only appends later ones. A producer can therefore
+// emit "the next month" for a running framework from nothing but the
+// seed and the current window.
+func TestGenerationPrefixStable(t *testing.T) {
+	p1 := Small(1)
+	p1.Networks = 12
+	p1.End = p1.Start.Add(3)
+	p2 := p1
+	p2.End = p1.Start.Add(5)
+	a, b := Generate(p1), Generate(p2)
+	cut := p1.End.End()
+
+	for _, dev := range a.Archive.Devices() {
+		ha, hb := a.Archive.Snapshots(dev), b.Archive.Snapshots(dev)
+		if len(hb) < len(ha) {
+			t.Fatalf("device %s: extended run has fewer snapshots (%d < %d)", dev, len(hb), len(ha))
+		}
+		for i, s := range ha {
+			if !s.Time.Equal(hb[i].Time) || s.Text != hb[i].Text || s.Login != hb[i].Login {
+				t.Fatalf("device %s diverges at snapshot %d (%v vs %v)", dev, i, s.Time, hb[i].Time)
+			}
+		}
+		for _, s := range hb[len(ha):] {
+			if s.Time.Before(cut) {
+				t.Fatalf("device %s: extended run has an extra snapshot inside the prefix at %v", dev, s.Time)
+			}
+		}
+	}
+
+	prefixTickets := 0
+	for _, tk := range b.Tickets.All() {
+		if tk.Opened.Before(cut) {
+			prefixTickets++
+		}
+	}
+	if prefixTickets != len(a.Tickets.All()) {
+		t.Fatalf("ticket prefix differs: %d tickets before %s in extended run, %d in base run",
+			prefixTickets, p1.End, len(a.Tickets.All()))
+	}
+}

@@ -13,8 +13,11 @@
 //	GET /v1/rank                       practice↔health MI ranking
 //	GET /v1/causal?practice=NAME       matched-design causal analysis
 //	GET /v1/predict?network=N&month=M  health prediction for one network-month
+//	GET /v1/network?network=N&month=M  per-network-month health summary (warm per-network memo)
 //	GET /v1/report/{name}              one of the 24 experiment reports, digest-stamped
 //	GET /v1/manifest                   run manifest for the loaded state
+//	POST /v1/ingest                    apply one month of new snapshots/tickets in place
+//	GET /v1/stream                     SSE feed of per-network deltas + refreshed rankings
 //	GET /metrics, /debug/pprof, /debug/vars  (the shared obs debug set)
 //	GET /debug/requests[/{id}[/trace]], /debug/logs  (the flight recorder)
 //
@@ -40,9 +43,11 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"mpa"
+	"mpa/internal/ingest"
 	"mpa/internal/obs"
 )
 
@@ -76,6 +81,13 @@ type Server struct {
 	mux   *http.ServeMux
 	ln    net.Listener
 
+	// closing is closed when graceful shutdown begins, so long-lived
+	// stream handlers return and their connections can drain — an SSE
+	// connection never goes idle on its own, and Shutdown waits for
+	// active connections.
+	closing   chan struct{}
+	closeOnce sync.Once
+
 	rec *obs.Recorder
 
 	requests *obs.Counter
@@ -103,6 +115,7 @@ func New(f *mpa.Framework, cfg Config) *Server {
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		start:    time.Now(),
 		mux:      http.NewServeMux(),
+		closing:  make(chan struct{}),
 		rec:      cfg.Recorder,
 		requests: obs.GetCounter("serve.requests"),
 		errors:   obs.GetCounter("serve.errors"),
@@ -115,8 +128,15 @@ func New(f *mpa.Framework, cfg Config) *Server {
 	s.mux.Handle("GET /v1/rank", s.query("rank", s.handleRank))
 	s.mux.Handle("GET /v1/causal", s.query("causal", s.handleCausal))
 	s.mux.Handle("GET /v1/predict", s.query("predict", s.handlePredict))
+	s.mux.Handle("GET /v1/network", s.query("network", s.handleNetwork))
 	s.mux.Handle("GET /v1/report/{name}", s.query("report", s.handleReport))
 	s.mux.Handle("GET /v1/manifest", s.query("manifest", s.handleManifest))
+	s.mux.Handle("POST /v1/ingest", s.query("ingest", s.handleIngest))
+	// The stream endpoint is mounted outside the query wrapper: SSE
+	// connections are long-lived by design and must not occupy slots in
+	// the bounded query semaphore (a handful of subscribers would starve
+	// every analysis query).
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 	obs.RegisterDebug(s.mux)
 	obs.RegisterRecorderDebug(s.mux, s.rec)
 	return s
@@ -155,6 +175,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	obs.Logger().Info("serve: draining in-flight requests", "timeout", s.cfg.DrainTimeout)
+	s.closeOnce.Do(func() { close(s.closing) })
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -506,6 +527,119 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Numbers: rep.Numbers,
 		Digest:  rep.Digest(),
 	})
+}
+
+// handleNetwork serves the per-network-month health summary, memoized
+// under the network's own cache generation (see mpa.NetworkHealthCached):
+// the heavy-traffic per-network dashboard path that stays warm across
+// ingests touching other networks.
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	network := r.URL.Query().Get("network")
+	if network == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter 'network'")
+		return
+	}
+	window := s.f.Window()
+	month := window[len(window)-1]
+	if ms := r.URL.Query().Get("month"); ms != "" {
+		t, err := time.Parse("2006-01", ms)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad month %q, want YYYY-MM", ms)
+			return
+		}
+		month = mpa.MonthOf(t)
+	}
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("network_health")
+	nh, err := s.f.NetworkHealthCached(network, month)
+	c.End()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	enc := sp.Start("encode")
+	defer enc.End()
+	writeJSON(w, http.StatusOK, nh)
+}
+
+// maxIngestBytes bounds an update body: a month of snapshots for a large
+// organization is tens of megabytes; anything past this is a client bug.
+const maxIngestBytes = 256 << 20
+
+// handleIngest applies one month of new data to the warm framework (see
+// mpa.Framework.Ingest). Malformed or non-appendable updates are 400s
+// and change nothing; a 200 response means the update is fully applied
+// and visible to every subsequent query.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("decode")
+	u, err := ingest.Decode(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	c.End()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c = sp.Start("ingest")
+	res, err := s.f.Ingest(u)
+	c.End()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	enc := sp.Start("encode")
+	defer enc.End()
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleStream is the SSE feed: after every applied ingest, subscribers
+// receive one "delta" event per touched network (sorted) and one "rank"
+// event with the refreshed practice ranking. Events are pre-encoded
+// JSON; a subscriber too slow to drain its buffer loses events rather
+// than stalling ingestion (ingest.stream_dropped counts them).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	obs.GetCounter("serve.requests.stream").Add(1)
+	ch, cancel := s.f.Subscribe()
+	defer cancel()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// An immediate comment line flushes the response headers so clients
+	// (and the smoke test's curl) see the stream is live before the
+	// first event.
+	fmt.Fprint(w, ": mpa ingest stream\n\n")
+	fl.Flush()
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			// Graceful shutdown: end the stream so the connection can
+			// drain instead of pinning Shutdown to its timeout.
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {

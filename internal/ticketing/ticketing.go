@@ -71,6 +71,14 @@ func (l *Log) File(t Ticket) *Ticket {
 	return &stored
 }
 
+// Clone returns an independent log sharing l's ticket records. The
+// ticket slice's capacity is clamped to its length, so filing into the
+// clone reallocates instead of writing into the original's backing
+// array; tickets themselves are never mutated after filing.
+func (l *Log) Clone() *Log {
+	return &Log{tickets: l.tickets[:len(l.tickets):len(l.tickets)], nextID: l.nextID}
+}
+
 // All returns every ticket in filing order.
 func (l *Log) All() []*Ticket { return l.tickets }
 

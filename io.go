@@ -14,7 +14,8 @@ var DefaultAutomationAccounts = []string{"svc-netauto", "rancid-bot", "svc-lbsyn
 // layout round-trips through LoadOrganization, so a synthetic organization
 // can be exported once and analyzed repeatedly (or inspected by hand).
 func (f *Framework) Save(dir string) error {
-	return dataio.SaveOrganization(dir, f.env.OSP.Inventory, f.env.OSP.Archive, f.env.OSP.Tickets)
+	o := f.environment().OSP // one snapshot: inventory/archive/tickets stay consistent
+	return dataio.SaveOrganization(dir, o.Inventory, o.Archive, o.Tickets)
 }
 
 // LoadOrganization reads an organization's data from dir (the layout

@@ -28,11 +28,14 @@ package mpa
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpa/internal/cache"
 	"mpa/internal/dataset"
 	"mpa/internal/experiments"
+	"mpa/internal/ingest"
 	"mpa/internal/months"
 	"mpa/internal/netmodel"
 	"mpa/internal/nms"
@@ -84,6 +87,15 @@ type (
 	// (Dir) that lets warm re-runs skip all unchanged per-network work.
 	// The zero value disables caching; caching never changes results.
 	CacheConfig = cache.Config
+	// CacheStats is a point-in-time snapshot of one cache's activity
+	// (see Framework.QueryCacheStats).
+	CacheStats = cache.Stats
+	// IngestUpdate is one month of new snapshots and tickets in the
+	// streaming wire format (see Framework.Ingest and internal/ingest).
+	IngestUpdate = ingest.Update
+	// IngestEvent is one server-sent event pushed to stream subscribers
+	// after an applied update.
+	IngestEvent = ingest.Event
 )
 
 // MetricNames lists the 28 practice metrics (paper Table 1).
@@ -177,12 +189,43 @@ func (c Config) params() osp.Params {
 }
 
 // Framework is an MPA instance bound to one organization's data.
+//
+// The bound state is swappable: Ingest (ingest.go) splices a new month
+// of data into copies of the substrates and atomically replaces the
+// environment pointer, so queries racing an update read either the old
+// or the new state — never a torn mix.
 type Framework struct {
-	env *experiments.Env
-	cfg Config // the run's settings, recorded in manifests
+	env atomic.Pointer[experiments.Env]
+	// cfgMu guards cfg: Ingest advances cfg.End when the window grows
+	// while Manifest reads the whole struct.
+	cfgMu sync.Mutex
+	cfg   Config // the run's settings, recorded in manifests
 	// queries is the warm query layer (query.go): memoized rankings,
 	// causal analyses, models, and reports for long-lived processes.
 	queries queryState
+	// ingestMu serializes updates; engine is the lazily-built incremental
+	// inference engine reused across them (guarded by ingestMu).
+	ingestMu sync.Mutex
+	engine   *practices.Engine
+	// hub fans applied updates out to stream subscribers.
+	hub *ingest.Hub
+}
+
+// environment returns the framework's current immutable state.
+func (f *Framework) environment() *experiments.Env { return f.env.Load() }
+
+// config returns a snapshot of the run's settings.
+func (f *Framework) config() Config {
+	f.cfgMu.Lock()
+	defer f.cfgMu.Unlock()
+	return f.cfg
+}
+
+// newFramework wraps an Env and config in a Framework.
+func newFramework(env *experiments.Env, cfg Config) *Framework {
+	f := &Framework{cfg: cfg, hub: ingest.NewHub()}
+	f.env.Store(env)
+	return f
 }
 
 // NewSynthetic generates a synthetic organization and runs inference over
@@ -192,7 +235,7 @@ func NewSynthetic(cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{env: env, cfg: cfg}, nil
+	return newFramework(env, cfg), nil
 }
 
 // New builds a framework over an organization's own data sources,
@@ -237,25 +280,29 @@ func NewCached(inv *Inventory, arch *Archive, tickets *TicketLog, start, end Mon
 		Obs:      root,
 	}
 	env.OSP.Params = env.Params
-	return &Framework{env: env, cfg: Config{
+	f := newFramework(env, Config{
 		Networks: len(inv.Networks),
 		Start:    start,
 		End:      end,
 		Cache:    cc,
-	}}, nil
+	})
+	// Keep the engine warm: Ingest reuses its content-addressed caches,
+	// so an incremental month pays only for genuinely new snapshots.
+	f.engine = engine
+	return f, nil
 }
 
 // Dataset returns the case matrix (one case per network-month).
-func (f *Framework) Dataset() *Dataset { return f.env.Data }
+func (f *Framework) Dataset() *Dataset { return f.environment().Data }
 
 // Inventory returns the organization's inventory.
-func (f *Framework) Inventory() *Inventory { return f.env.OSP.Inventory }
+func (f *Framework) Inventory() *Inventory { return f.environment().OSP.Inventory }
 
 // Tickets returns the trouble-ticket log.
-func (f *Framework) Tickets() *TicketLog { return f.env.OSP.Tickets }
+func (f *Framework) Tickets() *TicketLog { return f.environment().OSP.Tickets }
 
 // Window returns the study months.
-func (f *Framework) Window() []Month { return f.env.Window() }
+func (f *Framework) Window() []Month { return f.environment().Window() }
 
 // PracticeDependence is one practice's statistical dependence with
 // network health.
@@ -268,7 +315,7 @@ type PracticeDependence struct {
 // RankPractices returns every practice ordered by decreasing statistical
 // dependence with network health (paper Table 3 generalized to all 28).
 func (f *Framework) RankPractices() []PracticeDependence {
-	entries := experiments.MIRanking(f.env)
+	entries := experiments.MIRanking(f.environment())
 	out := make([]PracticeDependence, len(entries))
 	for i, e := range entries {
 		out[i] = PracticeDependence{Metric: e.Metric, MI: e.MI}
@@ -279,15 +326,16 @@ func (f *Framework) RankPractices() []PracticeDependence {
 // AnalyzeCausal runs the paper's matched-design quasi-experiment for one
 // treatment practice, controlling for the remaining 27 practice metrics.
 func (f *Framework) AnalyzeCausal(metric string) (*CausalResult, error) {
+	env := f.environment()
 	cfg := qed.DefaultConfig(practices.MetricNames)
-	cfg.Obs = f.env.Obs
-	return qed.Run(f.env.Data, metric, cfg)
+	cfg.Obs = env.Obs
+	return qed.Run(env.Data, metric, cfg)
 }
 
 // Experiment runs one of the paper's tables/figures by ID (see
 // ExperimentIDs) and reports whether the ID was known.
 func (f *Framework) Experiment(id string) (Report, bool) {
-	return experiments.Run(f.env, id)
+	return experiments.Run(f.environment(), id)
 }
 
 // ExperimentResult pairs an experiment ID with its outcome; OK is false
@@ -298,7 +346,7 @@ type ExperimentResult = experiments.RunResult
 // order) on up to workers goroutines (0 = process default) and returns
 // the results in input order. Reports are identical at any worker count.
 func (f *Framework) RunExperiments(ids []string, workers int) []ExperimentResult {
-	return experiments.RunAll(f.env, ids, workers)
+	return experiments.RunAll(f.environment(), ids, workers)
 }
 
 // ExperimentIDs lists the reproducible tables and figures in paper order.

@@ -176,7 +176,7 @@ func TestNewFromOwnData(t *testing.T) {
 	// data sources.
 	src := testFramework
 	start, end := src.Window()[0], src.Window()[len(src.Window())-1]
-	f, err := New(src.Inventory(), src.env.OSP.Archive, src.Tickets(), start, end)
+	f, err := New(src.Inventory(), src.environment().OSP.Archive, src.Tickets(), start, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestNewValidation(t *testing.T) {
 		t.Error("nil sources should error")
 	}
 	inv := &Inventory{}
-	arch := testFramework.env.OSP.Archive
+	arch := testFramework.environment().OSP.Archive
 	log := ticketing.NewLog()
 	end := Month{Year: 2014, Mon: time.January}
 	start := Month{Year: 2014, Mon: time.March}

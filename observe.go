@@ -43,7 +43,7 @@ type PipelineStats struct {
 // accrue as the framework runs, so call it after the work of interest.
 func (f *Framework) PipelineStats() PipelineStats {
 	ps := PipelineStats{}
-	root := f.env.Obs
+	root := f.environment().Obs
 	if root == nil {
 		return ps
 	}
@@ -91,11 +91,12 @@ func (ps PipelineStats) Table() string {
 // construction and must stay 1 however many warm queries run. Serve-mode
 // tests pin the no-recomputation guarantee with it.
 func (f *Framework) StageCalls(stage string) int {
-	if f.env.Obs == nil {
+	root := f.environment().Obs
+	if root == nil {
 		return 0
 	}
 	n := 0
-	for _, c := range f.env.Obs.Children() {
+	for _, c := range root.Children() {
 		if c.Name() == stage {
 			n++
 		}
@@ -111,15 +112,16 @@ func (f *Framework) StageCalls(stage string) int {
 // reflects the work done up to the call — build it last.
 func (f *Framework) Manifest() *runinfo.Manifest {
 	m := runinfo.New()
+	cfg := f.config() // snapshot: Ingest advances the window end
 	m.Config = runinfo.RunConfig{
-		Seed:            f.cfg.Seed,
-		Networks:        f.cfg.Networks,
-		WindowStart:     f.cfg.Start.String(),
-		WindowEnd:       f.cfg.End.String(),
-		Workers:         f.cfg.Workers,
-		CacheEnabled:    f.cfg.Cache.Enabled,
-		CacheDir:        f.cfg.Cache.Dir,
-		CacheMaxEntries: f.cfg.Cache.MaxEntries,
+		Seed:            cfg.Seed,
+		Networks:        cfg.Networks,
+		WindowStart:     cfg.Start.String(),
+		WindowEnd:       cfg.End.String(),
+		Workers:         cfg.Workers,
+		CacheEnabled:    cfg.Cache.Enabled,
+		CacheDir:        cfg.Cache.Dir,
+		CacheMaxEntries: cfg.Cache.MaxEntries,
 	}
 	ps := f.PipelineStats()
 	m.TotalWallNS = int64(ps.Total)
@@ -133,7 +135,7 @@ func (f *Framework) Manifest() *runinfo.Manifest {
 			Counters:   st.Counters,
 		})
 	}
-	if digests := f.env.ReportDigests(); len(digests) > 0 {
+	if digests := f.environment().ReportDigests(); len(digests) > 0 {
 		m.Reports = digests
 	}
 	return m
@@ -154,10 +156,11 @@ func (f *Framework) WriteManifest(path string) error {
 // data. Safe to call with a nil recorder or an un-instrumented
 // framework (no-op).
 func (f *Framework) RecordStages(r *obs.Recorder) {
-	if f.env.Obs == nil || r == nil {
+	root := f.environment().Obs
+	if root == nil || r == nil {
 		return
 	}
-	for i, c := range f.env.Obs.Children() {
+	for i, c := range root.Children() {
 		r.Record(c, obs.RequestMeta{ID: fmt.Sprintf("stage-%03d-%s", i, c.Name())})
 	}
 }
@@ -166,10 +169,11 @@ func (f *Framework) RecordStages(r *obs.Recorder) {
 // loadable in about:tracing or Perfetto. Open spans (the root) are
 // rendered with their elapsed-so-far duration.
 func (f *Framework) WriteTrace(w io.Writer) error {
-	if f.env.Obs == nil {
+	root := f.environment().Obs
+	if root == nil {
 		return fmt.Errorf("mpa: framework has no observability tree")
 	}
-	return obs.WriteChromeTrace(w, f.env.Obs)
+	return obs.WriteChromeTrace(w, root)
 }
 
 // formatDuration rounds to a human scale: microseconds under 1ms,

@@ -93,7 +93,7 @@ func (m *HealthModel) PredictClassName(metrics Metrics) string {
 // TrainHealthModel trains a health model on the framework's full dataset
 // with the paper's best options for the granularity.
 func (f *Framework) TrainHealthModel(g Granularity) (*HealthModel, error) {
-	return f.TrainHealthModelOn(f.env.Data, g, BestOptions(g))
+	return f.TrainHealthModelOn(f.environment().Data, g, BestOptions(g))
 }
 
 // TrainHealthModelOn trains a health model on an explicit dataset slice
@@ -112,7 +112,7 @@ func (f *Framework) TrainHealthModelOn(d *Dataset, g Granularity, opts ModelOpti
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	sp := f.env.Obs.Start("train_model")
+	sp := f.environment().Obs.Start("train_model")
 	defer sp.End()
 	sp.Count("cases", float64(d.Len()))
 	sp.Count("cv_folds", float64(opts.Folds))
@@ -177,11 +177,12 @@ func (f *Framework) PredictOnline(g Granularity, history int) ([]OnlinePredictio
 	if history < 1 {
 		return nil, fmt.Errorf("mpa: history must be >= 1")
 	}
-	window := f.Window()
+	env := f.environment() // one snapshot for the whole protocol
+	window := env.Window()
 	var out []OnlinePrediction
 	for ti := history; ti < len(window); ti++ {
-		train := f.env.Data.FilterMonths(window[ti-history], window[ti-1])
-		test := f.env.Data.FilterMonths(window[ti], window[ti])
+		train := env.Data.FilterMonths(window[ti-history], window[ti-1])
+		test := env.Data.FilterMonths(window[ti], window[ti])
 		if train.Len() == 0 || test.Len() == 0 {
 			continue
 		}

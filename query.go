@@ -6,6 +6,7 @@ import (
 
 	"mpa/internal/cache"
 	"mpa/internal/dataset"
+	"mpa/internal/experiments"
 	"mpa/internal/practices"
 )
 
@@ -21,12 +22,80 @@ import (
 // query and served from memory afterwards.
 
 // queryState holds the framework's memoized query results.
+//
+// Invalidation is generational, not delete-based: every memo key embeds
+// a generation counter, and an applied ingest bumps the counters whose
+// inputs changed — the global one for whole-organization queries
+// (ranking, causal analyses, models, experiment reports all read every
+// network) and the per-network one for exactly the touched networks.
+// Old entries become unreachable and age out of the LRU; entries for
+// untouched networks keep their keys and stay warm. The precision of
+// this scheme — untouched networks hit, touched networks miss — is
+// pinned by TestIngestCacheInvalidationPrecision.
 type queryState struct {
 	mu    sync.Mutex
 	cache *cache.Cache
+	// gen is the global query generation; netGen the per-network ones.
+	// Missing netGen entries are generation 0.
+	gen    uint64
+	netGen map[string]uint64
 	// cases indexes the dataset by network and month for O(1) predict
-	// lookups; built on first use and immutable afterwards.
-	cases map[string]map[Month]*dataset.Case
+	// lookups; built on first use and rebuilt when the environment it
+	// was built from is swapped out by an ingest.
+	cases    map[string]map[Month]*dataset.Case
+	casesEnv *experiments.Env
+}
+
+// queryKey builds a memo key for a whole-organization query, embedding
+// the global generation.
+func (f *Framework) queryKey(parts ...string) cache.Key {
+	f.queries.mu.Lock()
+	gen := f.queries.gen
+	f.queries.mu.Unlock()
+	h := cache.NewHasher("query/v1")
+	h.Int(int64(gen))
+	for _, p := range parts {
+		h.String(p)
+	}
+	return h.Sum()
+}
+
+// netQueryKey builds a memo key for one network's query, embedding that
+// network's generation: an ingest touching other networks leaves this
+// key — and its cached entry — intact.
+func (f *Framework) netQueryKey(network string, parts ...string) cache.Key {
+	f.queries.mu.Lock()
+	gen := f.queries.netGen[network]
+	f.queries.mu.Unlock()
+	h := cache.NewHasher("query/v1")
+	h.Int(int64(gen)).String(network)
+	for _, p := range parts {
+		h.String(p)
+	}
+	return h.Sum()
+}
+
+// invalidateQueries is called after an ingest swaps the environment:
+// whole-organization memos are invalidated unconditionally (every global
+// result reads every network), per-network memos only for the touched
+// networks.
+func (f *Framework) invalidateQueries(networks []string) {
+	f.queries.mu.Lock()
+	defer f.queries.mu.Unlock()
+	f.queries.gen++
+	if f.queries.netGen == nil {
+		f.queries.netGen = make(map[string]uint64, len(networks))
+	}
+	for _, n := range networks {
+		f.queries.netGen[n]++
+	}
+}
+
+// QueryCacheStats returns a snapshot of the warm query layer's memo
+// activity (hits, misses, entries); the invalidation-precision tests
+// assert on deltas of these counts around an ingest.
+func (f *Framework) QueryCacheStats() CacheStats {
+	return f.queryCache().Stats()
 }
 
 // queryCache returns the framework's query-result cache, creating it on
@@ -73,7 +142,7 @@ func (f *Framework) memoized(k cache.Key, compute func() (any, error)) (any, err
 // the MI ranking, later calls return the stored slice (treat it as
 // read-only). No pipeline stage re-runs on a warm call.
 func (f *Framework) RankPracticesCached() []PracticeDependence {
-	v, _ := f.memoized(cache.KeyOf("query/v1", "rank"), func() (any, error) {
+	v, _ := f.memoized(f.queryKey("rank"), func() (any, error) {
 		return f.RankPractices(), nil
 	})
 	return v.([]PracticeDependence)
@@ -95,7 +164,7 @@ func (f *Framework) AnalyzeCausalCached(metric string) (*CausalResult, error) {
 	if !KnownMetric(metric) {
 		return nil, fmt.Errorf("mpa: unknown practice metric %q", metric)
 	}
-	v, err := f.memoized(cache.KeyOf("query/v1", "causal", metric), func() (any, error) {
+	v, err := f.memoized(f.queryKey("causal", metric), func() (any, error) {
 		return f.AnalyzeCausal(metric)
 	})
 	if err != nil {
@@ -108,7 +177,7 @@ func (f *Framework) AnalyzeCausalCached(metric string) (*CausalResult, error) {
 // first call trains (one "train_model" stage), later calls return the
 // same warm model.
 func (f *Framework) HealthModelCached(g Granularity) (*HealthModel, error) {
-	v, err := f.memoized(cache.KeyOf("query/v1", "model", fmt.Sprint(int(g))), func() (any, error) {
+	v, err := f.memoized(f.queryKey("model", fmt.Sprint(int(g))), func() (any, error) {
 		return f.TrainHealthModel(g)
 	})
 	if err != nil {
@@ -130,7 +199,7 @@ func (f *Framework) ExperimentCached(id string) (Report, bool) {
 	if !known {
 		return Report{}, false
 	}
-	v, _ := f.memoized(cache.KeyOf("query/v1", "experiment", id), func() (any, error) {
+	v, _ := f.memoized(f.queryKey("experiment", id), func() (any, error) {
 		r, _ := f.Experiment(id)
 		return r, nil
 	})
@@ -139,27 +208,89 @@ func (f *Framework) ExperimentCached(id string) (Report, bool) {
 
 // Case returns the dataset's observation for one network-month, or false
 // when the network or month is not in the dataset. The lookup index is
-// built on first use.
+// built on first use and rebuilt after an ingest swaps the environment
+// (the index remembers which environment it indexed — a cheap
+// self-invalidation that needs no coordination with the ingest path).
 func (f *Framework) Case(network string, m Month) (*Case, bool) {
+	env := f.environment()
 	f.queries.mu.Lock()
-	if f.queries.cases == nil {
-		d := f.env.Data
+	if f.queries.cases == nil || f.queries.casesEnv != env {
+		d := env.Data
 		idx := make(map[string]map[Month]*dataset.Case, len(d.Networks()))
 		for i := range d.Cases {
 			c := &d.Cases[i]
 			byMonth := idx[c.Network]
 			if byMonth == nil {
-				byMonth = make(map[Month]*dataset.Case, len(f.Window()))
+				byMonth = make(map[Month]*dataset.Case, len(env.Window()))
 				idx[c.Network] = byMonth
 			}
 			byMonth[c.Month] = c
 		}
 		f.queries.cases = idx
+		f.queries.casesEnv = env
 	}
 	byMonth := f.queries.cases[network]
 	f.queries.mu.Unlock()
 	c, ok := byMonth[m]
 	return c, ok
+}
+
+// NetworkHealth is one network-month's health summary: the observed
+// ticket count with its class labels, plus that month's inferred change
+// count. It is the payload of the per-network warm query and of the
+// "delta" events the ingest stream pushes.
+type NetworkHealth struct {
+	Network    string  `json:"network"`
+	Month      string  `json:"month"`
+	Tickets    int     `json:"tickets"`
+	Class2     int     `json:"class2"`
+	Class2Name string  `json:"class2_name"`
+	Class5     int     `json:"class5"`
+	Class5Name string  `json:"class5_name"`
+	Changes    int     `json:"changes"`
+	ChangeFreq float64 `json:"change_frequency"`
+}
+
+// networkHealth assembles a NetworkHealth from one environment snapshot.
+func networkHealth(env *experiments.Env, network string, m Month) (*NetworkHealth, error) {
+	rows, ok := env.Analysis[network]
+	if !ok {
+		return nil, fmt.Errorf("mpa: unknown network %q", network)
+	}
+	for i := range rows {
+		if rows[i].Month != m {
+			continue
+		}
+		tickets := env.OSP.Tickets.HealthCount(network, m)
+		return &NetworkHealth{
+			Network:    network,
+			Month:      m.String(),
+			Tickets:    tickets,
+			Class2:     dataset.Class2(tickets),
+			Class2Name: dataset.Class2Names[dataset.Class2(tickets)],
+			Class5:     dataset.Class5(tickets),
+			Class5Name: dataset.Class5Names[dataset.Class5(tickets)],
+			Changes:    len(rows[i].Changes),
+			ChangeFreq: rows[i].Metrics[practices.MetricChangeEvents],
+		}, nil
+	}
+	return nil, fmt.Errorf("mpa: no analysis for network %q in %s", network, m)
+}
+
+// NetworkHealthCached returns one network-month's health summary,
+// memoized under the network's own cache generation: an ingest touching
+// other networks leaves this network's entries warm, while an ingest
+// touching this one invalidates exactly them. Errors (unknown network or
+// month) are never cached.
+func (f *Framework) NetworkHealthCached(network string, m Month) (*NetworkHealth, error) {
+	env := f.environment()
+	v, err := f.memoized(f.netQueryKey(network, "health", m.String()), func() (any, error) {
+		return networkHealth(env, network, m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*NetworkHealth), nil
 }
 
 // NetworkPrediction is one network-month's health prediction at both

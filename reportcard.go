@@ -17,7 +17,8 @@ import (
 // the per-network view operators use to act on MPA's findings (§5.2.6:
 // understanding these relationships aids SLO and staffing decisions).
 func (f *Framework) NetworkReport(network string) (string, error) {
-	mas, ok := f.env.Analysis[network]
+	env := f.environment() // one snapshot for the whole report
+	mas, ok := env.Analysis[network]
 	if !ok {
 		return "", fmt.Errorf("mpa: unknown network %q", network)
 	}
@@ -25,7 +26,7 @@ func (f *Framework) NetworkReport(network string) (string, error) {
 	// Mean metric values over the window, per network.
 	orgMeans := map[string][]float64{}
 	netMean := map[string]float64{}
-	for name, all := range f.env.Analysis {
+	for name, all := range env.Analysis {
 		for _, metric := range practices.MetricNames {
 			var sum float64
 			for _, ma := range all {
@@ -41,7 +42,7 @@ func (f *Framework) NetworkReport(network string) (string, error) {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Management-plane report card: %s\n", network)
-	fmt.Fprintf(&b, "(percentiles are within the organization's %d networks)\n\n", len(f.env.Analysis))
+	fmt.Fprintf(&b, "(percentiles are within the organization's %d networks)\n\n", len(env.Analysis))
 
 	tb := report.NewTable("Practice", "Cat", "Mean value", "Org percentile")
 	type row struct {
@@ -68,7 +69,7 @@ func (f *Framework) NetworkReport(network string) (string, error) {
 	// Health history.
 	b.WriteString("\nMonthly health (tickets, class):\n")
 	for _, ma := range mas {
-		tickets := f.env.OSP.Tickets.HealthCount(network, ma.Month)
+		tickets := env.OSP.Tickets.HealthCount(network, ma.Month)
 		cls := FiveClass.ClassNames()[dataset.Class5(tickets)]
 		fmt.Fprintf(&b, "  %s  %3d tickets  %s\n", ma.Month, tickets, cls)
 	}

@@ -6,6 +6,7 @@
 #   scripts/bench.sh [count]
 #
 # Runs BenchmarkGenerate, BenchmarkInference, BenchmarkInferenceWarmCache,
+# BenchmarkIngestMonth (the streaming-ingest cost of one new month),
 # the per-dialect parse/diff stage benchmarks (BenchmarkParseSnapshot*,
 # BenchmarkDiffPair*), BenchmarkTable3, and BenchmarkSection61 with
 # -count (default 10) repetitions each and writes
@@ -25,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 count="${1:-10}"
-pattern='^(BenchmarkGenerate|BenchmarkInference|BenchmarkInferenceWarmCache|BenchmarkParseSnapshotCisco|BenchmarkParseSnapshotJunos|BenchmarkDiffPairCisco|BenchmarkDiffPairJunos|BenchmarkTable3|BenchmarkSection61)$'
+pattern='^(BenchmarkGenerate|BenchmarkInference|BenchmarkInferenceWarmCache|BenchmarkIngestMonth|BenchmarkParseSnapshotCisco|BenchmarkParseSnapshotJunos|BenchmarkDiffPairCisco|BenchmarkDiffPairJunos|BenchmarkTable3|BenchmarkSection61)$'
 out="${MPA_BENCH_OUT:-BENCH_$(date +%F).json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

@@ -2,8 +2,9 @@
 # serve-smoke.sh — end-to-end smoke test for `mpa serve`: build the
 # binary, start a daemon over a small generated archive, query it,
 # exercise the flight recorder (request-ID round-trip, /debug/requests,
-# a per-request Chrome trace), and assert a clean graceful shutdown on
-# SIGINT.
+# a per-request Chrome trace), stream one month of new data through the
+# ingest path (SSE subscriber + `mpa nextmonth` + POST /v1/ingest), and
+# assert a clean graceful shutdown on SIGINT.
 #
 # Usage: scripts/serve-smoke.sh [port]
 set -euo pipefail
@@ -38,7 +39,10 @@ grep -q '"status": "ok"' /tmp/healthz.json || {
 }
 echo "serve-smoke: /healthz ok"
 
-curl -fsS "http://127.0.0.1:$PORT/v1/rank" | grep -q '"metric"' || {
+# Fetch to a file first: `curl | grep -q` races SIGPIPE when grep
+# matches inside the first chunk of a multi-chunk body.
+curl -fsS "http://127.0.0.1:$PORT/v1/rank" >/tmp/rank.json
+grep -q '"metric"' /tmp/rank.json || {
     echo "serve-smoke: /v1/rank missing ranked metrics" >&2
     exit 1
 }
@@ -74,6 +78,65 @@ grep -q '"traceEvents"' /tmp/request-trace.json && grep -q '"serve:causal"' /tmp
     exit 1
 }
 echo "serve-smoke: per-request trace ok"
+
+# Streaming ingest: subscribe to the SSE feed, generate the next month
+# with `mpa nextmonth` (prefix-stable, so it matches the daemon's
+# organization), POST it, and assert the update both streamed out and
+# became queryable in place.
+curl -sN --max-time 30 "http://127.0.0.1:$PORT/v1/stream" >/tmp/stream.log &
+CURL_PID=$!
+for i in $(seq 1 40); do
+    grep -q 'mpa ingest stream' /tmp/stream.log 2>/dev/null && break
+    sleep 0.25
+done
+grep -q 'mpa ingest stream' /tmp/stream.log || {
+    echo "serve-smoke: SSE stream never opened" >&2
+    exit 1
+}
+
+"$BIN" -networks 12 -months 3 nextmonth >/tmp/update.json
+curl -fsS -X POST --data-binary @/tmp/update.json \
+    "http://127.0.0.1:$PORT/v1/ingest" >/tmp/ingest.json
+grep -q '"new_month": true' /tmp/ingest.json || {
+    echo "serve-smoke: ingest did not extend the window:" >&2
+    cat /tmp/ingest.json >&2
+    exit 1
+}
+NEW_MONTH="$(sed -n 's/.*"month": "\([0-9-]*\)".*/\1/p' /tmp/ingest.json | head -1)"
+echo "serve-smoke: /v1/ingest applied $NEW_MONTH"
+
+# The SSE subscriber must receive the per-network deltas and the
+# refreshed ranking for that month.
+for i in $(seq 1 40); do
+    grep -q '^event: rank' /tmp/stream.log 2>/dev/null && break
+    sleep 0.25
+done
+grep -q '^event: delta' /tmp/stream.log || {
+    echo "serve-smoke: no delta events on /v1/stream:" >&2
+    cat /tmp/stream.log >&2
+    exit 1
+}
+grep -q '^event: rank' /tmp/stream.log || {
+    echo "serve-smoke: no rank event on /v1/stream:" >&2
+    cat /tmp/stream.log >&2
+    exit 1
+}
+kill "$CURL_PID" 2>/dev/null || true
+echo "serve-smoke: /v1/stream deltas ok ($(grep -c '^event: delta' /tmp/stream.log) networks)"
+
+# The daemon must answer for the new month without restarting.
+curl -fsS "http://127.0.0.1:$PORT/healthz" >/tmp/healthz2.json
+grep -q "\"window_end\": \"$NEW_MONTH\"" /tmp/healthz2.json || {
+    echo "serve-smoke: window did not advance to $NEW_MONTH:" >&2
+    cat /tmp/healthz2.json >&2
+    exit 1
+}
+curl -fsS "http://127.0.0.1:$PORT/v1/rank" >/tmp/rank2.json
+grep -q '"metric"' /tmp/rank2.json || {
+    echo "serve-smoke: /v1/rank broken after ingest" >&2
+    exit 1
+}
+echo "serve-smoke: post-ingest queries ok (window_end=$NEW_MONTH)"
 
 # Graceful shutdown: SIGINT must drain and exit 0.
 kill -INT "$PID"

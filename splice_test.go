@@ -1,0 +1,364 @@
+package mpa
+
+// The splice≡rebuild equivalence suite: the correctness contract of the
+// streaming ingest path (ingest.go) is that a framework grown month by
+// month through Framework.Ingest is indistinguishable — report digests,
+// ranking, dataset — from one built cold over the same records. The
+// expected digests live in testdata/splice-golden.json so a behavior
+// drift in either path fails loudly against a recorded truth, not just
+// against the other path; refresh with
+//
+//	go test -run TestSpliceEquivalence -update .
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mpa/internal/ingest"
+	"mpa/internal/osp"
+	"mpa/internal/par"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/splice-golden.json")
+
+// spliceParams is the suite's organization: mid-size, five months, so
+// the replay covers three window extensions plus an intra-month split.
+func spliceParams() osp.Params {
+	p := osp.Small(21)
+	p.Networks = 8
+	p.End = p.Start.Add(4)
+	return p
+}
+
+// spliceDigests reduces a framework to comparable fingerprints: every
+// experiment report's digest, plus digests of the dataset cases and the
+// MI ranking.
+type spliceDigests struct {
+	Reports map[string]string `json:"reports"`
+	Dataset string            `json:"dataset"`
+	Rank    string            `json:"rank"`
+}
+
+func digestsOf(t *testing.T, f *Framework, workers int) spliceDigests {
+	t.Helper()
+	d := spliceDigests{Reports: map[string]string{}}
+	for _, r := range f.RunExperiments(nil, workers) {
+		if !r.OK {
+			t.Fatalf("experiment %s failed", r.ID)
+		}
+		d.Reports[r.ID] = r.Report.Digest()
+	}
+	jsonDigest := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%x", sha256.Sum256(b))
+	}
+	d.Dataset = jsonDigest(f.Dataset().Cases)
+	d.Rank = jsonDigest(f.RankPracticesCached())
+	return d
+}
+
+// roundTrip pushes an update through its wire encoding — the replayed
+// bytes are exactly what a monitoring feed would POST.
+func roundTrip(t *testing.T, u *ingest.Update) *IngestUpdate {
+	t.Helper()
+	b, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := ingest.Decode(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u2
+}
+
+// buildIncremental truncates the organization to its first two months,
+// builds a framework over that prefix, then ingests the remaining months
+// one at a time — the final month split into two updates so the
+// intra-month growth path is part of the replay.
+func buildIncremental(t *testing.T, o *osp.OSP, cc CacheConfig) (*Framework, int) {
+	t.Helper()
+	p := o.Params
+	cut := p.Start.Add(1)
+	arch, log := ingest.Truncate(o.Archive, o.Tickets, cut)
+	f, err := NewCached(o.Inventory, arch, log, p.Start, cut, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingests := 0
+	for m := cut.Next(); !p.End.Before(m); m = m.Next() {
+		u := ingest.SliceMonth(o.Archive, o.Tickets, m)
+		if m == p.End && len(u.Snapshots) > 1 && len(u.Tickets) > 0 {
+			// Final month in two halves: first extends the window, the
+			// second grows it in place.
+			head := &ingest.Update{Month: u.Month, Snapshots: u.Snapshots[:len(u.Snapshots)/2]}
+			tail := &ingest.Update{Month: u.Month, Snapshots: u.Snapshots[len(u.Snapshots)/2:], Tickets: u.Tickets}
+			for _, part := range []*ingest.Update{head, tail} {
+				res, err := f.Ingest(roundTrip(t, part))
+				if err != nil {
+					t.Fatalf("ingest %s (split): %v", m, err)
+				}
+				if want := part == head; res.NewMonth != want {
+					t.Fatalf("ingest %s (split): NewMonth=%v, want %v", m, res.NewMonth, want)
+				}
+				ingests++
+			}
+			continue
+		}
+		res, err := f.Ingest(roundTrip(t, u))
+		if err != nil {
+			t.Fatalf("ingest %s: %v", m, err)
+		}
+		if !res.NewMonth || res.WindowEnd != m.String() {
+			t.Fatalf("ingest %s: result %+v, want window extension to %s", m, res, m)
+		}
+		ingests++
+	}
+	return f, ingests
+}
+
+// TestSpliceEquivalence is the suite: golden-backed digests of the full
+// rebuild, then incremental replicas at workers 1 and 8, cache off and
+// on, every one byte-identical to the golden truth. It also pins that the
+// incremental path never re-ran full inference: "inference" executes once
+// at construction, each applied update adds one "ingest" stage.
+func TestSpliceEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("splice equivalence suite is slow; skipped with -short")
+	}
+	o := osp.Generate(spliceParams())
+	goldenPath := filepath.Join("testdata", "splice-golden.json")
+
+	full, err := NewCached(o.Inventory, o.Archive, o.Tickets, o.Params.Start, o.Params.End, CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDigests := digestsOf(t, full, 1)
+
+	if *update {
+		b, err := json.MarshalIndent(fullDigests, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var golden spliceDigests
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fullDigests, golden) {
+		t.Fatalf("full rebuild drifted from golden digests (refresh with -update if intended):\n got %+v\nwant %+v",
+			fullDigests, golden)
+	}
+
+	for _, workers := range []int{1, 8} {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/cache=%v", workers, cached)
+			t.Run(name, func(t *testing.T) {
+				// NewCached and Ingest size their worker pools from the
+				// process default; pin it for this replica.
+				par.SetDefaultWorkers(workers)
+				defer par.SetDefaultWorkers(0)
+				inc, ingests := buildIncremental(t, o, CacheConfig{Enabled: cached})
+				got := digestsOf(t, inc, workers)
+				if !reflect.DeepEqual(got, golden) {
+					for id, d := range got.Reports {
+						if d != golden.Reports[id] {
+							t.Errorf("report %s: digest %s, want %s", id, d, golden.Reports[id])
+						}
+					}
+					if got.Dataset != golden.Dataset {
+						t.Errorf("dataset digest %s, want %s", got.Dataset, golden.Dataset)
+					}
+					if got.Rank != golden.Rank {
+						t.Errorf("rank digest %s, want %s", got.Rank, golden.Rank)
+					}
+					t.Fatal("incremental framework diverged from full rebuild")
+				}
+				if calls := inc.StageCalls("inference"); calls != 1 {
+					t.Errorf("inference stage ran %d times, want exactly 1 (construction)", calls)
+				}
+				if calls := inc.StageCalls("ingest"); calls != ingests {
+					t.Errorf("ingest stage ran %d times, want %d (one per applied update)", calls, ingests)
+				}
+			})
+		}
+	}
+}
+
+// TestIngestRejectsLeaveStateUntouched pins that a rejected update is
+// free: wrong months, unknown devices, and malformed records all error
+// without swapping the environment or bumping cache generations.
+func TestIngestRejectsLeaveStateUntouched(t *testing.T) {
+	p := spliceParams()
+	p.Networks = 4
+	o := osp.Generate(p)
+	f, err := NewCached(o.Inventory, o.Archive, o.Tickets, p.Start, p.End, CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envBefore := f.environment()
+	rankBefore := f.RankPracticesCached()
+	dev := o.Inventory.Networks[0].Devices[0].Name
+
+	bad := []*IngestUpdate{
+		// A month that does not extend the window.
+		ingest.SliceMonth(o.Archive, o.Tickets, p.Start),
+		// The right month, unknown device.
+		{Month: p.End.Next().String(), Snapshots: []ingest.SnapshotEntry{
+			{Device: "no-such-device", Time: p.End.Next().Start(), Login: "x", Text: "hostname x\n"}}},
+		// A gap: two months past the window end.
+		{Month: p.End.Add(2).String(), Snapshots: []ingest.SnapshotEntry{
+			{Device: dev, Time: p.End.Add(2).Start(), Login: "x", Text: "hostname x\n"}}},
+		// Empty update.
+		{Month: p.End.Next().String()},
+	}
+	for i, u := range bad {
+		if _, err := f.Ingest(u); err == nil {
+			t.Fatalf("bad update %d accepted", i)
+		}
+	}
+	if f.environment() != envBefore {
+		t.Fatal("rejected update swapped the environment")
+	}
+	// The memoized rank must still be served from the same generation.
+	stats := f.QueryCacheStats()
+	rankAfter := f.RankPracticesCached()
+	if &rankBefore[0] != &rankAfter[0] {
+		t.Fatal("rejected update invalidated the warm rank memo")
+	}
+	if d := f.QueryCacheStats().MemHits - stats.MemHits; d != 1 {
+		t.Fatalf("warm rank after rejects: %d cache hits, want 1", d)
+	}
+}
+
+// TestIngestCacheInvalidationPrecision is the invalidation property
+// test: after an ingest touching network set S, per-network warm queries
+// must miss for every network in S and hit for every network outside it,
+// while whole-organization memos (the ranking) miss exactly once — and
+// full inference never re-runs.
+func TestIngestCacheInvalidationPrecision(t *testing.T) {
+	p := spliceParams()
+	o := osp.Generate(p)
+	f, err := NewCached(o.Inventory, o.Archive, o.Tickets, p.Start, p.End, CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.End
+	networks := make([]string, 0, len(o.Inventory.Networks))
+	for _, nw := range o.Inventory.Networks {
+		networks = append(networks, nw.Name)
+	}
+
+	// Warm one per-network entry per network plus the global ranking.
+	for _, n := range networks {
+		if _, err := f.NetworkHealthCached(n, m); err != nil {
+			t.Fatalf("warm %s: %v", n, err)
+		}
+	}
+	f.RankPracticesCached()
+	base := f.QueryCacheStats()
+
+	// Re-query everything warm: all hits, no misses.
+	for _, n := range networks {
+		if _, err := f.NetworkHealthCached(n, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.RankPracticesCached()
+	warm := f.QueryCacheStats()
+	if d := warm.MemHits - base.MemHits; d != int64(len(networks)+1) {
+		t.Fatalf("warm pass: %d hits, want %d", d, len(networks)+1)
+	}
+	if d := warm.MemMisses - base.MemMisses; d != 0 {
+		t.Fatalf("warm pass: %d misses, want 0", d)
+	}
+
+	// Craft an intra-month update touching exactly two networks: one via
+	// a snapshot (re-sent final config, so even the analysis is
+	// unchanged — the invalidation must still fire), one via a ticket.
+	snapNet, ticketNet := networks[0], networks[len(networks)-1]
+	dev := o.Inventory.Networks[0].Devices[0].Name
+	hist := o.Archive.Snapshots(dev)
+	last := hist[len(hist)-1]
+	u := &IngestUpdate{
+		Month: m.String(),
+		Snapshots: []ingest.SnapshotEntry{
+			{Device: dev, Time: m.End().Add(-1), Login: "ops", Text: last.Text},
+		},
+		Tickets: []ingest.TicketEntry{
+			{Network: ticketNet, Origin: "user-report", Opened: m.End().Add(-1)},
+		},
+	}
+	res, err := f.Ingest(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{snapNet, ticketNet}; !reflect.DeepEqual(res.Networks, want) {
+		t.Fatalf("touched networks %v, want %v", res.Networks, want)
+	}
+	touched := map[string]bool{snapNet: true, ticketNet: true}
+
+	pre := f.QueryCacheStats()
+	for _, n := range networks {
+		nh, err := f.NetworkHealthCached(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == ticketNet {
+			// The new ticket must be visible in the recomputed entry.
+			want := f.Tickets().HealthCount(n, m)
+			if nh.Tickets != want {
+				t.Fatalf("%s: cached tickets %d, want %d after ingest", n, nh.Tickets, want)
+			}
+		}
+	}
+	post := f.QueryCacheStats()
+	// Untouched networks hit; touched networks miss. A cold memoized call
+	// checks the cache twice (double-checked locking), so each touched
+	// network contributes two miss counts.
+	wantHits := int64(len(networks) - len(touched))
+	wantMisses := int64(2 * len(touched))
+	if d := post.MemHits - pre.MemHits; d != wantHits {
+		t.Errorf("per-network queries after ingest: %d hits, want %d (untouched networks must stay warm)",
+			d, wantHits)
+	}
+	if d := post.MemMisses - pre.MemMisses; d != wantMisses {
+		t.Errorf("per-network queries after ingest: %d misses, want %d (touched networks must recompute)",
+			d, wantMisses)
+	}
+
+	// The global ranking memo was invalidated exactly once.
+	pre = f.QueryCacheStats()
+	f.RankPracticesCached()
+	f.RankPracticesCached()
+	post = f.QueryCacheStats()
+	if d := post.MemMisses - pre.MemMisses; d != 2 {
+		t.Errorf("rank after ingest: %d misses, want 2 (one cold rebuild)", d)
+	}
+	if d := post.MemHits - pre.MemHits; d != 1 {
+		t.Errorf("rank after ingest: %d hits, want 1", d)
+	}
+
+	// Precision's backstop: no full inference re-ran for any of this.
+	if calls := f.StageCalls("inference"); calls != 1 {
+		t.Errorf("inference stage ran %d times, want 1", calls)
+	}
+}

@@ -79,5 +79,5 @@ func TestWriteTraceParallelValidity(t *testing.T) {
 			walk(c)
 		}
 	}
-	walk(f.env.Obs)
+	walk(f.environment().Obs)
 }
