@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpa/internal/loadgen"
+)
+
+// stubDaemon mimics the mpa serve surface the load generator touches:
+// /healthz for target bootstrap and the /v1 read endpoints. Reports
+// other than "table2" 404, giving the error-accounting path real
+// failures to count.
+func stubDaemon(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","networks":3,"window_start":"2014-01","window_end":"2014-03","months":3}`)
+	})
+	ok := func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, `{}`)
+	}
+	mux.HandleFunc("GET /v1/rank", ok)
+	mux.HandleFunc("GET /v1/manifest", ok)
+	mux.HandleFunc("GET /v1/causal", ok)
+	mux.HandleFunc("GET /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !strings.HasPrefix(r.URL.Query().Get("network"), "net00") {
+			t.Errorf("predict network = %q, want net00x from the bootstrap", r.URL.Query().Get("network"))
+		}
+		fmt.Fprint(w, `{}`)
+	})
+	mux.HandleFunc("GET /v1/network", ok)
+	mux.HandleFunc("GET /v1/report/{name}", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.PathValue("name") != "table2" {
+			http.Error(w, "no such report", http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	})
+	return httptest.NewServer(mux)
+}
+
+// TestRunEndToEnd drives the full loop against the stub: bootstrap from
+// /healthz, execute an open-loop plan, and produce a valid manifest
+// whose totals match what the server actually saw.
+func TestRunEndToEnd(t *testing.T) {
+	var hits atomic.Int64
+	srv := stubDaemon(t, &hits)
+	defer srv.Close()
+
+	cfg := runConfig{
+		addr:      srv.URL,
+		rate:      400,
+		duration:  500 * time.Millisecond,
+		mixSpec:   "rank=3,network=3,predict=2,causal=1,report=1,manifest=1",
+		seed:      11,
+		conns:     4,
+		timeout:   5 * time.Second,
+		practices: "no_change_events",
+		reports:   "table2,missing_report",
+	}
+	m, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if m.Totals.Requests != hits.Load() {
+		t.Errorf("manifest counts %d requests, server saw %d", m.Totals.Requests, hits.Load())
+	}
+	if m.Totals.Requests < 100 {
+		t.Errorf("only %d requests in 500ms at 400/s", m.Totals.Requests)
+	}
+	for _, ep := range []string{"rank", "network", "predict", "causal", "report", "manifest"} {
+		st, ok := m.Endpoints[ep]
+		if !ok {
+			t.Errorf("endpoint %q missing from manifest", ep)
+			continue
+		}
+		if st.Requests > 0 && st.LatencyMS.P99 <= 0 {
+			t.Errorf("endpoint %q has requests but no latency: %+v", ep, st)
+		}
+	}
+	// Half the report draws hit the 404 id: report errors must be
+	// recorded without failing the run.
+	if rep := m.Endpoints["report"]; rep.Requests > 5 && rep.Errors == 0 {
+		t.Errorf("report 404s not counted as errors: %+v", rep)
+	}
+	if m.Config.Mix != cfg.mixSpec {
+		t.Errorf("manifest mix = %q, want %q", m.Config.Mix, cfg.mixSpec)
+	}
+
+	// The artifact round-trips through the file format the gate reads.
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadgen.Read(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLatencyIsScheduleAnchored pins coordinated-omission
+// resistance: with one connection and a server that stalls 50ms per
+// request, requests scheduled close together must report queue-inflated
+// latencies far beyond the 50ms service time.
+func TestRunLatencyIsScheduleAnchored(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","networks":1,"window_start":"2014-01","window_end":"2014-01","months":1}`)
+	})
+	mux.HandleFunc("GET /v1/rank", func(w http.ResponseWriter, _ *http.Request) {
+		time.Sleep(50 * time.Millisecond)
+		fmt.Fprint(w, `{}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	m, err := run(runConfig{
+		addr:     srv.URL,
+		rate:     100, // 100/s into a 20/s server: the backlog must show
+		duration: 300 * time.Millisecond,
+		mixSpec:  "rank=1",
+		seed:     3,
+		conns:    1,
+		timeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := m.Endpoints["rank"]
+	if rank.Requests < 10 {
+		t.Fatalf("only %d requests planned", rank.Requests)
+	}
+	// A closed-loop (send-when-free) measurement would report ~50ms
+	// regardless of backlog; schedule-anchored latency must blow past it.
+	if rank.LatencyMS.Max < 150 {
+		t.Errorf("max latency %.1fms does not reflect the queue (closed-loop would report ≈50ms)",
+			rank.LatencyMS.Max)
+	}
+	if rank.LatencyMS.P50 <= rank.LatencyMS.Min {
+		t.Errorf("latency summary suspicious under saturation: %+v", rank.LatencyMS)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(runConfig{addr: "http://127.0.0.1:1", rate: 1, duration: time.Second,
+		mixSpec: "rank=1", conns: 1, timeout: 100 * time.Millisecond}); err == nil {
+		t.Error("unreachable daemon accepted")
+	}
+	if _, err := run(runConfig{addr: "http://x", rate: 1, duration: time.Second,
+		mixSpec: "bogus", conns: 1}); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if _, err := run(runConfig{addr: "http://x", rate: 1, duration: time.Second,
+		mixSpec: "rank=1", conns: 0}); err == nil {
+		t.Error("zero conns accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command mpa-slogate evaluates a load-manifest against an SLO spec
+// and fails CI when an objective is violated.
+//
+// Usage:
+//
+//	mpa-slogate [-warn-only] SPEC.json LOAD-MANIFEST.json
+//
+// SPEC is an mpa.slo-spec/v1 file (see internal/slo); LOAD-MANIFEST is
+// the mpa.load-manifest/v1 artifact written by cmd/mpa-loadgen. Every
+// objective's verdict is printed as a table; any violation exits with
+// status 2 so CI fails loudly. -warn-only downgrades violations to a
+// warning and exits 0 — for soak branches where the SLO is
+// informational. Usage or I/O problems exit 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpa/internal/loadgen"
+	"mpa/internal/report"
+	"mpa/internal/slo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpa-slogate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	warnOnly := fs.Bool("warn-only", false, "report violations but exit 0")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mpa-slogate [-warn-only] SPEC.json LOAD-MANIFEST.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 1
+	}
+
+	spec, err := slo.ReadSpec(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "mpa-slogate:", err)
+		return 1
+	}
+	m, err := loadgen.Read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "mpa-slogate:", err)
+		return 1
+	}
+
+	res := slo.Evaluate(spec, m)
+	fmt.Fprint(stdout, render(res))
+	fmt.Fprintf(stdout, "\n%d objectives checked, %d violated (manifest: %d requests at %.1f req/s)\n",
+		len(res.Checks), res.Violations, m.Totals.Requests, m.Totals.AchievedRPS)
+
+	if res.Violations == 0 {
+		fmt.Fprintln(stdout, "SLO gate: pass")
+		return 0
+	}
+	if *warnOnly {
+		fmt.Fprintln(stdout, "SLO gate: violations present, -warn-only set — not failing")
+		return 0
+	}
+	fmt.Fprintln(stderr, "SLO gate: FAIL")
+	return 2
+}
+
+// render draws one row per check.
+func render(res slo.Result) string {
+	tb := report.NewTable("Endpoint", "Objective", "Limit", "Got", "Verdict")
+	for _, c := range res.Checks {
+		verdict := "ok"
+		switch {
+		case !c.OK:
+			verdict = "VIOLATION"
+		case c.Note != "":
+			verdict = "skipped"
+		}
+		limit, got := fmt.Sprintf("%.4g", c.Limit), fmt.Sprintf("%.4g", c.Got)
+		if c.Name == "presence" {
+			limit, got = "-", "absent"
+		}
+		tb.AddRow(c.Endpoint, c.Name, limit, got, verdict)
+	}
+	return tb.String()
+}

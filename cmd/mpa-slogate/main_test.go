@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mpa/internal/loadgen"
+)
+
+// writeManifest records a known latency shape (rank max 40ms, network
+// 20% errors) and writes the manifest for the gate to read.
+func writeManifest(t *testing.T, dir string) string {
+	t.Helper()
+	c := loadgen.NewCollector()
+	lat := []time.Duration{
+		2 * time.Millisecond, 3 * time.Millisecond, 40 * time.Millisecond,
+		900 * time.Microsecond, 7 * time.Millisecond,
+	}
+	for i, d := range lat {
+		c.Record("rank", d, false)
+		c.Record("network", d*2, i == 4)
+	}
+	m := c.Manifest("http://x", loadgen.Config{Rate: 1, DurationSeconds: 5, Mix: "rank=1"},
+		5*time.Second, time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC))
+	path := filepath.Join(dir, "load-manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeSpec(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const passingSpec = `{
+  "schema": "mpa.slo-spec/v1",
+  "endpoints": {
+    "rank":    {"max_error_rate": 0, "latency_ms": {"p50": 50, "p99": 100}},
+    "network": {"max_error_rate": 0.25, "latency_ms": {"p99": 200}}
+  }
+}`
+
+func TestGatePass(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	spec := writeSpec(t, dir, passingSpec)
+	var out, errb strings.Builder
+	if code := run([]string{spec, manifest}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"SLO gate: pass", "rank", "p99", "error_rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestGateTightenedThresholdExits2 pins the CI contract end to end:
+// tightening a threshold below the measured value turns exit 0 into
+// exit 2.
+func TestGateTightenedThresholdExits2(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	tightened := strings.Replace(passingSpec, `"p99": 100`, `"p99": 1`, 1)
+	spec := writeSpec(t, dir, tightened)
+	var out, errb strings.Builder
+	if code := run([]string{spec, manifest}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "VIOLATION") {
+		t.Errorf("stdout missing VIOLATION row:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "SLO gate: FAIL") {
+		t.Errorf("stderr missing failure banner:\n%s", errb.String())
+	}
+
+	// -warn-only downgrades the same violation to exit 0.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-warn-only", spec, manifest}, &out, &errb); code != 0 {
+		t.Fatalf("warn-only exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "-warn-only") {
+		t.Errorf("warn-only run does not announce itself:\n%s", out.String())
+	}
+}
+
+func TestGateUsageAndIOErrors(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	spec := writeSpec(t, dir, passingSpec)
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Errorf("no args exit = %d, want 1", code)
+	}
+	if code := run([]string{filepath.Join(dir, "absent.json"), manifest}, &out, &errb); code != 1 {
+		t.Errorf("missing spec exit = %d, want 1", code)
+	}
+	if code := run([]string{spec, filepath.Join(dir, "absent.json")}, &out, &errb); code != 1 {
+		t.Errorf("missing manifest exit = %d, want 1", code)
+	}
+	bad := writeSpec(t, filepath.Join(dir), `{"schema":"mpa.slo-spec/v1","endpoints":{}}`)
+	if code := run([]string{bad, manifest}, &out, &errb); code != 1 {
+		t.Errorf("invalid spec exit = %d, want 1", code)
+	}
+}
+
+// TestCheckedInSpecMatchesRepoBaseline guards the actual testdata file
+// CI feeds the gate: it must parse, validate, and cover the read
+// endpoints the default loadgen mix exercises.
+func TestCheckedInSpecMatchesRepoBaseline(t *testing.T) {
+	var out, errb strings.Builder
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	// Spec must at least load (exit 1 would mean an invalid checked-in
+	// baseline). Violations are fine here — this synthetic manifest does
+	// not cover every endpoint the baseline names.
+	code := run([]string{"../../testdata/slo.json", manifest}, &out, &errb)
+	if code == 1 {
+		t.Fatalf("checked-in testdata/slo.json unusable: %s", errb.String())
+	}
+}

@@ -43,6 +43,22 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add adjusts the gauge by delta, atomically with respect to concurrent
+// Add calls — the shape up/down tallies want (e.g. serve.streams_open),
+// where concurrent Set-after-read would lose updates.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last stored value.
 func (g *Gauge) Value() float64 {
 	if g == nil {
@@ -72,9 +88,11 @@ func NewHistogram(bounds ...float64) *Histogram {
 	}
 }
 
-// Observe records one value.
+// Observe records one value. NaN and ±Inf are ignored: a single
+// non-finite observation would otherwise poison sum forever and corrupt
+// the Prometheus _sum exposition.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	idx := sort.SearchFloat64s(h.bounds, v)
@@ -124,10 +142,12 @@ var registry = struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	loghists map[string]*LogHistogram
 }{
 	counters: map[string]*Counter{},
 	gauges:   map[string]*Gauge{},
 	hists:    map[string]*Histogram{},
+	loghists: map[string]*LogHistogram{},
 }
 
 func init() {
@@ -175,13 +195,29 @@ func GetHistogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// GetLogHistogram returns the process-wide log-spaced histogram with
+// the given name, creating it on first use. Unlike GetHistogram there
+// are no bounds to choose: every LogHistogram shares the fixed
+// geometric bucket layout (see LogHistGrowth).
+func GetLogHistogram(name string) *LogHistogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	h, ok := registry.loghists[name]
+	if !ok {
+		h = NewLogHistogram()
+		registry.loghists[name] = h
+	}
+	return h
+}
+
 // MetricsSnapshot is a point-in-time copy of the whole metric registry,
 // consumed by the expvar export, the Prometheus exposition handler, and
 // run manifests (internal/runinfo).
 type MetricsSnapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]float64           `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters      map[string]int64                `json:"counters"`
+	Gauges        map[string]float64              `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot    `json:"histograms"`
+	LogHistograms map[string]LogHistogramSnapshot `json:"log_histograms,omitempty"`
 }
 
 // SnapshotMetrics copies every registered counter, gauge, and histogram.
@@ -201,6 +237,12 @@ func SnapshotMetrics() MetricsSnapshot {
 	}
 	for name, h := range registry.hists {
 		snap.Histograms[name] = h.Snapshot()
+	}
+	if len(registry.loghists) > 0 {
+		snap.LogHistograms = make(map[string]LogHistogramSnapshot, len(registry.loghists))
+		for name, h := range registry.loghists {
+			snap.LogHistograms[name] = h.Snapshot()
+		}
 	}
 	return snap
 }

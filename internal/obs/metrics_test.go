@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"math"
 	"sync"
 	"testing"
 )
@@ -60,6 +61,49 @@ func TestGauge(t *testing.T) {
 	g.Set(-1)
 	if got := g.Value(); got != -1 {
 		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+// TestGaugeAdd pins the atomic up/down semantics: concurrent deltas must
+// all land (a Set-after-read loop would lose updates under contention).
+func TestGaugeAdd(t *testing.T) {
+	g := GetGauge("test.gauge_add")
+	g.Set(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(2)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 16 {
+		t.Fatalf("gauge = %v, want 16 after 8×(+2) net", got)
+	}
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}
+
+// TestHistogramIgnoresNonFinite is the regression test for the poisoned
+// sum: one NaN (or ±Inf) observation used to corrupt sum — and with it
+// the Prometheus _sum series — forever.
+func TestHistogramIgnoresNonFinite(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(5)
+	snap := h.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d, want 1 (non-finite values must be dropped)", snap.Count)
+	}
+	if snap.Sum != 5 || math.IsNaN(snap.Sum) {
+		t.Fatalf("sum = %v, want 5", snap.Sum)
 	}
 }
 

@@ -66,6 +66,15 @@ func WritePrometheus(w io.Writer, snap MetricsSnapshot) {
 	for _, name := range names {
 		writePromHistogram(w, promName(name), snap.Histograms[name])
 	}
+
+	names = names[:0]
+	for name := range snap.LogHistograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writePromLogHistogram(w, promName(name), snap.LogHistograms[name])
+	}
 }
 
 // writePromHistogram renders one histogram as cumulative buckets plus the
@@ -80,6 +89,27 @@ func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) {
 			cum += h.Counts[i]
 		}
 		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+}
+
+// writePromLogHistogram renders one log-spaced histogram. Only the
+// boundaries of non-empty buckets are emitted (the layout has ~285
+// buckets; a dense rendering would dwarf the rest of the scrape), which
+// is valid exposition: cumulative counts at any subset of bounds plus
+// le="+Inf" describe the same distribution.
+func writePromLogHistogram(w io.Writer, pn string, h LogHistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if b.Index > logHistBuckets {
+			break // overflow: covered by the +Inf line
+		}
+		upper := math.Pow(h.Growth, float64(b.Index))
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(upper), cum)
 	}
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 	fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))

@@ -117,7 +117,7 @@ func TestIngestEndpointRejects(t *testing.T) {
 	s := serve.New(f, serve.Config{})
 
 	bad := [][]byte{
-		[]byte(`{nope`),                      // malformed JSON
+		[]byte(`{nope`), // malformed JSON
 		[]byte(`{"month":"2014-03","snapshotz":[]}`), // unknown field
 	}
 	if b, err := json.Marshal(ingest.Update{Month: o.Params.End.Add(2).String(),

@@ -18,12 +18,17 @@
 //	GET /v1/manifest                   run manifest for the loaded state
 //	POST /v1/ingest                    apply one month of new snapshots/tickets in place
 //	GET /v1/stream                     SSE feed of per-network deltas + refreshed rankings
+//	GET /debug/slo                     per-endpoint latency percentiles + error rates (slo.go)
 //	GET /metrics, /debug/pprof, /debug/vars  (the shared obs debug set)
 //	GET /debug/requests[/{id}[/trace]], /debug/logs  (the flight recorder)
 //
 // Every /v1 query runs under a concurrency limit and a request-scoped
 // obs span; totals, per-endpoint counts, errors, panics, in-flight
-// depth, and a latency histogram are registered under "serve.*". Each
+// depth, and latency histograms are registered under "serve.*" — the
+// legacy coarse serve.latency_ms series plus one log-spaced
+// serve.latency_ns.<endpoint> histogram (p50…p99.9 at ~5% relative
+// error) and serve.status.<endpoint>.<class> counters per endpoint,
+// summarized at /debug/slo and gated in CI by cmd/mpa-slogate. Each
 // request gets an ID — honoring an incoming X-Request-ID or W3C
 // traceparent, echoed back as X-Request-ID — and is recorded in the
 // flight recorder (obs.Recorder) on completion: the recent ring is
@@ -95,6 +100,13 @@ type Server struct {
 	panics   *obs.Counter
 	inflight *obs.Gauge
 	latency  *obs.Histogram
+
+	// ep holds the per-endpoint latency-SLO instrumentation (log-spaced
+	// latency histograms + status-class counters; see slo.go) keyed by
+	// endpoint name; streamsOpen counts live SSE subscribers, which are
+	// deliberately excluded from every latency series.
+	ep          map[string]*endpointMetrics
+	streamsOpen *obs.Gauge
 }
 
 // New builds a server over an already-constructed (and therefore
@@ -123,6 +135,8 @@ func New(f *mpa.Framework, cfg Config) *Server {
 		inflight: obs.GetGauge("serve.inflight"),
 		latency: obs.GetHistogram("serve.latency_ms",
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000, 5000),
+		ep:          map[string]*endpointMetrics{},
+		streamsOpen: obs.GetGauge("serve.streams_open"),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /v1/rank", s.query("rank", s.handleRank))
@@ -137,6 +151,7 @@ func New(f *mpa.Framework, cfg Config) *Server {
 	// the bounded query semaphore (a handful of subscribers would starve
 	// every analysis query).
 	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	obs.RegisterDebug(s.mux)
 	obs.RegisterRecorderDebug(s.mux, s.rec)
 	return s
@@ -228,6 +243,8 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // sustained traffic.
 func (s *Server) query(name string, h http.HandlerFunc) http.Handler {
 	perEndpoint := obs.GetCounter("serve.requests." + name)
+	em := newEndpointMetrics(name)
+	s.ep[name] = em
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.sem <- struct{}{}
 		s.inflight.Set(float64(len(s.sem)))
@@ -263,6 +280,7 @@ func (s *Server) query(name string, h http.HandlerFunc) http.Handler {
 				s.errors.Add(1)
 			}
 			s.latency.Observe(float64(dur.Nanoseconds()) / 1e6)
+			em.observe(dur, sw.status)
 			sum := s.rec.Record(sp, obs.RequestMeta{
 				ID:     id,
 				Status: sw.status,
@@ -603,6 +621,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.GetCounter("serve.requests.stream").Add(1)
+	// Streams are connections, not requests: a subscriber that stays
+	// attached for an hour must not register as an hour-long "request"
+	// in any latency histogram (one would bury every real p99). The
+	// serve.streams_open gauge carries the live population instead.
+	s.streamsOpen.Add(1)
+	defer s.streamsOpen.Add(-1)
 	ch, cancel := s.f.Subscribe()
 	defer cancel()
 	h := w.Header()

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# loadgen-smoke.sh — end-to-end smoke test for the latency-SLO
+# tooling: build `mpa`, `mpa-loadgen`, and `mpa-slogate`, start a
+# daemon over a small generated archive, drive a short deterministic
+# open-loop load run, and gate the resulting load-manifest against the
+# checked-in SLO baseline (testdata/slo.json).
+#
+# Usage: scripts/loadgen-smoke.sh [port] [out-manifest]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18081}"
+OUT="${2:-load-manifest.json}"
+BINDIR="$(mktemp -d)"
+trap 'rm -rf "$BINDIR"' EXIT
+
+go build -o "$BINDIR/mpa" ./cmd/mpa
+go build -o "$BINDIR/mpa-loadgen" ./cmd/mpa-loadgen
+go build -o "$BINDIR/mpa-slogate" ./cmd/mpa-slogate
+
+"$BINDIR/mpa" -networks 12 -months 3 -addr "127.0.0.1:$PORT" serve &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BINDIR"' EXIT
+
+for i in $(seq 1 120); do
+    if curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "loadgen-smoke: daemon exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+echo "loadgen-smoke: daemon up"
+
+# A short but real run: ~200 requests across the default read mix. The
+# fixed seed makes the request schedule reproducible; only the measured
+# latencies vary run to run.
+"$BINDIR/mpa-loadgen" -addr "http://127.0.0.1:$PORT" \
+    -rate 40 -duration 5s -conns 4 -seed 1 -out "$OUT"
+echo "loadgen-smoke: load run complete"
+
+# Gate the manifest against the checked-in baseline. Exit 2 here means
+# a genuine SLO violation and fails the script (and CI) loudly.
+"$BINDIR/mpa-slogate" testdata/slo.json "$OUT"
+echo "loadgen-smoke: SLO gate passed"
+
+# The daemon's own view must agree: per-endpoint series on /metrics and
+# a populated /debug/slo summary.
+curl -fsS "http://127.0.0.1:$PORT/metrics" >/tmp/loadgen-metrics.txt
+for series in \
+    'mpa_serve_latency_ns_rank_bucket{le=' \
+    'mpa_serve_latency_ns_rank_count ' \
+    'mpa_serve_status_rank_2xx_total ' \
+    'mpa_serve_streams_open '; do
+    grep -qF "$series" /tmp/loadgen-metrics.txt || {
+        echo "loadgen-smoke: /metrics missing $series" >&2
+        exit 1
+    }
+done
+curl -fsS "http://127.0.0.1:$PORT/debug/slo" >/tmp/loadgen-slo.json
+grep -q '"p99"' /tmp/loadgen-slo.json && grep -q '"rank"' /tmp/loadgen-slo.json || {
+    echo "loadgen-smoke: /debug/slo missing per-endpoint percentiles:" >&2
+    cat /tmp/loadgen-slo.json >&2
+    exit 1
+}
+echo "loadgen-smoke: daemon-side series ok"
+
+kill -INT "$PID"
+if wait "$PID"; then
+    echo "loadgen-smoke: clean shutdown"
+else
+    echo "loadgen-smoke: daemon exited non-zero on SIGINT" >&2
+    exit 1
+fi

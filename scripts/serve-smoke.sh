@@ -48,6 +48,28 @@ grep -q '"metric"' /tmp/rank.json || {
 }
 echo "serve-smoke: /v1/rank ok"
 
+# Per-endpoint observability: the rank request above must show up in
+# its own latency histogram and status-class counter on /metrics, and
+# /debug/slo must summarize it with percentiles.
+curl -fsS "http://127.0.0.1:$PORT/metrics" >/tmp/metrics.txt
+for series in \
+    'mpa_serve_latency_ns_rank_bucket{le=' \
+    'mpa_serve_latency_ns_rank_count ' \
+    'mpa_serve_status_rank_2xx_total ' \
+    'mpa_serve_streams_open '; do
+    grep -qF "$series" /tmp/metrics.txt || {
+        echo "serve-smoke: /metrics missing $series" >&2
+        exit 1
+    }
+done
+curl -fsS "http://127.0.0.1:$PORT/debug/slo" >/tmp/slo.json
+grep -q '"rank"' /tmp/slo.json && grep -q '"p99"' /tmp/slo.json || {
+    echo "serve-smoke: /debug/slo missing rank percentiles:" >&2
+    cat /tmp/slo.json >&2
+    exit 1
+}
+echo "serve-smoke: per-endpoint metrics and /debug/slo ok"
+
 # Flight recorder: a client-supplied X-Request-ID must round-trip back.
 REQ_ID="smoke-$$"
 GOT_ID="$(curl -fsS -D - -o /dev/null -H "X-Request-ID: $REQ_ID" \
