@@ -7,7 +7,7 @@
 //
 //	mpa-loadgen [-addr URL] [-rate N] [-duration D] [-mix SPEC]
 //	            [-seed N] [-conns N] [-timeout D] [-out FILE]
-//	            [-practices LIST] [-reports LIST]
+//	            [-practices LIST] [-reports LIST] [-orgs LIST]
 //
 // The request schedule is open-loop: arrival times are drawn up front
 // from a seeded exponential (Poisson) process at -rate req/s, and each
@@ -23,6 +23,13 @@
 // so the network count plus window bounds reconstruct every valid
 // /v1/network and /v1/predict parameter. Practices and report IDs come
 // from -practices/-reports.
+//
+// Against a multi-tenant daemon (`mpa serve -orgs`), pass the same org
+// names via -orgs: each request draws its tenant uniformly and carries
+// it in the X-MPA-Org header, and each org's target pools are
+// bootstrapped from its own /healthz. Accounting stays per endpoint
+// across tenants, so the manifest gates against the same SLO baseline
+// as a single-tenant run.
 //
 // Exit status: 0 on a completed run (errors are recorded in the
 // manifest, not fatal), 1 on bad usage, an unreachable daemon, or a
@@ -57,6 +64,7 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "load-manifest.json", "load-manifest output path")
 	flag.StringVar(&cfg.practices, "practices", "no_change_events", "comma-separated practice metrics for /v1/causal")
 	flag.StringVar(&cfg.reports, "reports", "table2,table3", "comma-separated experiment IDs for /v1/report")
+	flag.StringVar(&cfg.orgs, "orgs", "", "comma-separated org names of a multi-tenant daemon (sent as X-MPA-Org)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: mpa-loadgen [flags] (see -h)")
@@ -88,6 +96,7 @@ type runConfig struct {
 	out       string
 	practices string
 	reports   string
+	orgs      string
 }
 
 // run bootstraps targets, executes the plan, and builds the manifest.
@@ -107,11 +116,23 @@ func run(cfg runConfig) (*loadgen.Manifest, error) {
 			MaxIdleConnsPerHost: cfg.conns,
 		},
 	}
-	targets, err := bootstrap(client, base, cfg)
-	if err != nil {
-		return nil, err
+	orgs := splitList(cfg.orgs)
+	tenants := make([]loadgen.OrgTargets, 0, len(orgs)+1)
+	if len(orgs) == 0 {
+		targets, err := bootstrap(client, base, "", cfg)
+		if err != nil {
+			return nil, err
+		}
+		tenants = append(tenants, loadgen.OrgTargets{Targets: targets})
 	}
-	plan, err := loadgen.BuildPlan(cfg.rate, cfg.duration, cfg.seed, mix, targets)
+	for _, org := range orgs {
+		targets, err := bootstrap(client, base, org, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("org %s: %w", org, err)
+		}
+		tenants = append(tenants, loadgen.OrgTargets{Org: org, Targets: targets})
+	}
+	plan, err := loadgen.BuildPlanTenants(cfg.rate, cfg.duration, cfg.seed, mix, tenants)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +155,15 @@ func run(cfg runConfig) (*loadgen.Manifest, error) {
 			for req := range jobs {
 				scheduled := start.Add(req.At)
 				failed := false
-				resp, err := client.Get(base + req.Path)
+				hr, err := http.NewRequest(http.MethodGet, base+req.Path, nil)
+				if err != nil {
+					col.Record(req.Endpoint, time.Since(scheduled), true)
+					continue
+				}
+				if req.Org != "" {
+					hr.Header.Set("X-MPA-Org", req.Org)
+				}
+				resp, err := client.Do(hr)
 				if err != nil {
 					failed = true
 				} else {
@@ -160,6 +189,7 @@ func run(cfg runConfig) (*loadgen.Manifest, error) {
 		Seed:            cfg.seed,
 		Conns:           cfg.conns,
 		Mix:             mix.String(),
+		Orgs:            strings.Join(orgs, ","),
 	}, elapsed, time.Now().UTC()), nil
 }
 
@@ -171,9 +201,17 @@ type healthz struct {
 	Months      int    `json:"months"`
 }
 
-// bootstrap derives the target pools from the daemon's /healthz.
-func bootstrap(client *http.Client, base string, cfg runConfig) (loadgen.Targets, error) {
-	resp, err := client.Get(base + "/healthz")
+// bootstrap derives the target pools from the daemon's /healthz — one
+// org's view of it when org is non-empty.
+func bootstrap(client *http.Client, base, org string, cfg runConfig) (loadgen.Targets, error) {
+	hr, err := http.NewRequest(http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return loadgen.Targets{}, err
+	}
+	if org != "" {
+		hr.Header.Set("X-MPA-Org", org)
+	}
+	resp, err := client.Do(hr)
 	if err != nil {
 		return loadgen.Targets{}, fmt.Errorf("daemon unreachable: %w", err)
 	}

@@ -21,7 +21,12 @@
 //	              observability breakdown (time, allocs, counters) plus
 //	              the flight recorder's slowest-stage list
 //	serve         load once and answer analysis queries over HTTP
-//	              (-addr, -max-inflight); see internal/serve
+//	              (-addr, -max-inflight); see internal/serve. With
+//	              -orgs or -orgs-config, load one warm framework per
+//	              organization and shard /v1/* by tenant (path segment
+//	              /v1/orgs/{org}/... or X-MPA-Org header), with
+//	              cross-org aggregates at /v1/fleet/rank and
+//	              /v1/fleet/health
 //	watch         serve plus streaming ingest: poll -watch-dir for
 //	              update files and/or -replay N synthetic months, apply
 //	              each in place (POST /v1/ingest works too), and push
@@ -50,6 +55,11 @@
 //	-cache-max N   max in-memory cache entries per pipeline stage
 //	-addr A        listen address for `serve` (default localhost:8080)
 //	-max-inflight N  concurrent query limit for `serve` (0 = 2×GOMAXPROCS)
+//	-orgs SPEC     multi-tenant serve: comma-separated
+//	               name=seed[:networks[:months]] org specs; unset fields
+//	               inherit -networks/-months
+//	-orgs-config F multi-tenant serve from a JSON registry file:
+//	               {"orgs":[{"name":...,"seed":...,"networks":...,"months":...}]}
 //	-slow-ms N     serve queries at least this slow are logged at Warn
 //	               with a per-stage breakdown and pinned in the flight
 //	               recorder (default 1000; 0 disables)
@@ -91,6 +101,7 @@ import (
 	"mpa/internal/obs"
 	"mpa/internal/par"
 	"mpa/internal/serve"
+	"mpa/internal/tenant"
 )
 
 func main() {
@@ -108,6 +119,8 @@ func main() {
 	cacheMax := flag.Int("cache-max", cache.DefaultMaxEntries, "max in-memory cache entries per pipeline stage")
 	addr := flag.String("addr", "localhost:8080", "listen address for the serve subcommand")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent query limit for serve (0 = 2×GOMAXPROCS)")
+	orgsSpec := flag.String("orgs", "", "multi-tenant serve: comma-separated name=seed[:networks[:months]] org specs")
+	orgsConfig := flag.String("orgs-config", "", "multi-tenant serve: JSON registry file ({\"orgs\":[...]})")
 	slowMS := flag.Int("slow-ms", 1000, "serve queries at least this slow (milliseconds) are logged at Warn with a per-stage breakdown and pinned in the flight recorder; 0 disables")
 	watchDir := flag.String("watch-dir", "", "directory the watch subcommand polls for update files (*.json)")
 	poll := flag.Duration("poll", 2*time.Second, "watch poll interval and replay cadence")
@@ -157,6 +170,48 @@ func main() {
 			fatal(err)
 		}
 		if err := json.NewEncoder(os.Stdout).Encode(ups[0]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Multi-tenant serve: an org registry replaces the single synthetic
+	// organization — one warm framework per org, sharded by the router.
+	if *orgsSpec != "" || *orgsConfig != "" {
+		if cmd != "serve" {
+			fatal(fmt.Errorf("-orgs/-orgs-config apply only to the serve subcommand"))
+		}
+		if *orgsSpec != "" && *orgsConfig != "" {
+			fatal(fmt.Errorf("use -orgs or -orgs-config, not both"))
+		}
+		specs, err := tenant.ParseOrgs(*orgsSpec)
+		if *orgsConfig != "" {
+			specs, err = tenant.ReadConfig(*orgsConfig)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		obs.Logger().Info("generating fleet", "orgs", len(specs),
+			"networks", cfg.Networks, "months", *monthsN)
+		reg, err := tenant.Load(specs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv := serve.NewSharded(reg, serve.Config{
+			Addr:          *addr,
+			MaxInFlight:   *maxInflight,
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		})
+		bound, err := srv.Listen()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mpa: serving %d orgs on http://%s (%s; SIGINT/SIGTERM to stop)\n",
+			reg.Len(), bound, strings.Join(reg.Names(), ", "))
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err = srv.Serve(ctx)
+		stop()
+		if err != nil {
 			fatal(err)
 		}
 		return

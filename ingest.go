@@ -35,6 +35,15 @@ import (
 var ingestHist = obs.GetHistogram("ingest.apply_ms",
 	1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
 
+// rejectApply accounts one update that failed after validation: unlike a
+// validation reject, apply work already ran, so the latency histogram
+// must see it too or ingest.apply_ms silently undercounts failed
+// applies.
+func rejectApply(start time.Time) {
+	obs.GetCounter("ingest.rejected").Add(1)
+	ingestHist.Observe(float64(time.Since(start).Microseconds()) / 1000)
+}
+
 // IngestResult summarizes one applied update.
 type IngestResult struct {
 	// Month is the update's calendar month.
@@ -100,6 +109,7 @@ func (f *Framework) Ingest(u *IngestUpdate) (*IngestResult, error) {
 			// Compile validated per-device monotonicity; reaching here is
 			// an ingest bug, not bad input.
 			asp.End()
+			rejectApply(start)
 			return nil, fmt.Errorf("mpa: splice failed: %w", err)
 		}
 	}
@@ -130,6 +140,7 @@ func (f *Framework) Ingest(u *IngestUpdate) (*IngestResult, error) {
 	}
 	rows, err := f.engine.AnalyzeMonth(comp.Month, names)
 	if err != nil {
+		rejectApply(start)
 		return nil, fmt.Errorf("mpa: incremental inference failed: %w", err)
 	}
 
@@ -160,6 +171,7 @@ func (f *Framework) Ingest(u *IngestUpdate) (*IngestResult, error) {
 			}
 		}
 		if !spliced {
+			rejectApply(start)
 			return nil, fmt.Errorf("mpa: network %q has no analysis row for %s", name, comp.Month)
 		}
 		analysis[name] = replaced

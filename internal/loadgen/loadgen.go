@@ -130,11 +130,20 @@ type Targets struct {
 }
 
 // Request is one planned request: fire at At (relative to the run
-// start), against Path, accounted under Endpoint.
+// start), against Path, accounted under Endpoint. Org names the tenant
+// of a multi-org run (sent as the X-MPA-Org header); empty targets the
+// daemon's default tenant.
 type Request struct {
 	At       time.Duration
 	Endpoint string
 	Path     string
+	Org      string
+}
+
+// OrgTargets is one tenant's target pools in a multi-org plan.
+type OrgTargets struct {
+	Org     string
+	Targets Targets
 }
 
 // needs maps each endpoint to the target pool it draws from.
@@ -184,6 +193,15 @@ func (t Targets) pathFor(endpoint string, r *rng.RNG) (string, error) {
 // and concrete target parameters. Pure in (rate, duration, seed, mix,
 // targets) — identical inputs produce the identical plan.
 func BuildPlan(rate float64, duration time.Duration, seed uint64, mix Mix, targets Targets) ([]Request, error) {
+	return BuildPlanTenants(rate, duration, seed, mix, []OrgTargets{{Targets: targets}})
+}
+
+// BuildPlanTenants is BuildPlan against a multi-tenant daemon: each
+// request additionally draws its org uniformly from tenants, with that
+// org's own target pools. With exactly one tenant no org draw happens,
+// so a single-tenant plan is identical to BuildPlan's — the SLO
+// baseline's request sequence is unchanged by the plumbing.
+func BuildPlanTenants(rate float64, duration time.Duration, seed uint64, mix Mix, tenants []OrgTargets) ([]Request, error) {
 	if rate <= 0 {
 		return nil, fmt.Errorf("loadgen: rate %v, want > 0", rate)
 	}
@@ -192,6 +210,9 @@ func BuildPlan(rate float64, duration time.Duration, seed uint64, mix Mix, targe
 	}
 	if len(mix) == 0 {
 		return nil, fmt.Errorf("loadgen: empty mix")
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: no tenants")
 	}
 	totalWeight := 0
 	for _, e := range mix {
@@ -217,11 +238,18 @@ func BuildPlan(rate float64, duration time.Duration, seed uint64, mix Mix, targe
 			}
 			w -= e.Weight
 		}
-		path, err := targets.pathFor(endpoint, picks)
+		tenant := tenants[0]
+		if len(tenants) > 1 {
+			tenant = tenants[picks.Intn(len(tenants))]
+		}
+		path, err := tenant.Targets.pathFor(endpoint, picks)
 		if err != nil {
+			if tenant.Org != "" {
+				return nil, fmt.Errorf("org %s: %w", tenant.Org, err)
+			}
 			return nil, err
 		}
-		plan = append(plan, Request{At: at, Endpoint: endpoint, Path: path})
+		plan = append(plan, Request{At: at, Endpoint: endpoint, Path: path, Org: tenant.Org})
 	}
 }
 
@@ -265,6 +293,9 @@ type Config struct {
 	Seed            uint64  `json:"seed"`
 	Conns           int     `json:"conns"`
 	Mix             string  `json:"mix"`
+	// Orgs lists the tenants of a multi-org run ("acme,globex"); empty
+	// for a single-tenant run, keeping old manifests byte-compatible.
+	Orgs string `json:"orgs,omitempty"`
 }
 
 // Totals aggregates the whole run.

@@ -253,3 +253,51 @@ func TestManifestValidateRejects(t *testing.T) {
 		t.Error("error_rate > 1 accepted")
 	}
 }
+
+// TestBuildPlanTenants: a single anonymous tenant must reproduce
+// BuildPlan exactly (same draws, empty Org), and a multi-org plan must
+// tag every request with a registered org and visit each one.
+func TestBuildPlanTenants(t *testing.T) {
+	mix, _ := ParseMix(DefaultMix)
+	single, err := BuildPlanTenants(200, 2*time.Second, 42, mix, []OrgTargets{{Targets: testTargets()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _ := BuildPlan(200, 2*time.Second, 42, mix, testTargets())
+	if len(single) != len(legacy) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(single), len(legacy))
+	}
+	for i := range single {
+		if single[i] != legacy[i] {
+			t.Fatalf("single-tenant plan diverges from BuildPlan at %d: %+v vs %+v", i, single[i], legacy[i])
+		}
+		if single[i].Org != "" {
+			t.Fatalf("anonymous tenant tagged request %d with org %q", i, single[i].Org)
+		}
+	}
+
+	tenants := []OrgTargets{
+		{Org: "acme", Targets: testTargets()},
+		{Org: "globex", Targets: testTargets()},
+	}
+	multi, err := BuildPlanTenants(200, 2*time.Second, 42, mix, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, req := range multi {
+		seen[req.Org]++
+	}
+	for _, org := range []string{"acme", "globex"} {
+		if seen[org] == 0 {
+			t.Errorf("org %s never drawn in %d requests", org, len(multi))
+		}
+	}
+	if seen[""] != 0 {
+		t.Errorf("%d requests left untagged in a multi-org plan", seen[""])
+	}
+
+	if _, err := BuildPlanTenants(200, time.Second, 1, mix, nil); err == nil {
+		t.Error("BuildPlanTenants accepted an empty tenant list")
+	}
+}

@@ -110,6 +110,9 @@ type RequestMeta struct {
 	Err bool
 	// Slow marks the entry as over the caller's slow threshold.
 	Slow bool
+	// Tenant is the organization the request resolved to (multi-tenant
+	// serve); empty for batch stages and single-tenant daemons.
+	Tenant string
 }
 
 // StageBreakdown is one row of an entry's per-stage time split: the
@@ -131,6 +134,7 @@ type RequestSummary struct {
 	Status     int       `json:"status,omitempty"`
 	Err        bool      `json:"error,omitempty"`
 	Slow       bool      `json:"slow,omitempty"`
+	Tenant     string    `json:"tenant,omitempty"`
 	// TraceRetained reports whether the full span tree is still held
 	// (slowest / recent-error sets); filled at read time, since retention
 	// changes as later entries arrive.
@@ -162,6 +166,7 @@ func (r *Recorder) Record(sp *Span, meta RequestMeta) RequestSummary {
 		Status:     meta.Status,
 		Err:        meta.Err,
 		Slow:       meta.Slow,
+		Tenant:     meta.Tenant,
 		Stages:     stageBreakdown(sp),
 	}
 

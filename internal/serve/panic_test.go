@@ -24,7 +24,7 @@ func TestQueryPanicRecovered(t *testing.T) {
 	errorsBefore := s.errors.Value()
 	requestsBefore := s.requests.Value()
 
-	h := s.query("boom", func(http.ResponseWriter, *http.Request) {
+	h := s.query("boom", func(*shard, http.ResponseWriter, *http.Request) {
 		panic("handler exploded")
 	})
 	w := httptest.NewRecorder()
@@ -75,7 +75,7 @@ func TestQueryPanicAfterWrite(t *testing.T) {
 	rec := obs.NewRecorder(obs.RecorderConfig{})
 	s := New(nil, Config{Recorder: rec})
 
-	h := s.query("halfway", func(w http.ResponseWriter, _ *http.Request) {
+	h := s.query("halfway", func(_ *shard, w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		if _, err := w.Write([]byte(`{"partial":`)); err != nil {
 			t.Errorf("write: %v", err)
@@ -106,7 +106,7 @@ func TestQueryPanicAfterWrite(t *testing.T) {
 func TestQueryRequestIDPropagation(t *testing.T) {
 	rec := obs.NewRecorder(obs.RecorderConfig{})
 	s := New(nil, Config{Recorder: rec})
-	h := s.query("ok", func(w http.ResponseWriter, _ *http.Request) {
+	h := s.query("ok", func(_ *shard, w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
 	})
 

@@ -7,9 +7,21 @@
 // are served from the framework's query cache ("cache.query.*" in
 // /metrics), which is the daemon's heavy-traffic path.
 //
-// Endpoints:
+// The daemon runs one warm Framework per organization. A single-tenant
+// server (New) has exactly one; a sharded server (NewSharded) fronts an
+// org registry (internal/tenant) and routes every /v1 query to the
+// tenant's shard, resolved from the /v1/orgs/{org}/... path segment or
+// the X-MPA-Org header. Shards share no mutable state — each org owns
+// its engines, caches, and query generations — so cross-tenant
+// isolation is structural, not locked. Fleet-wide aggregates
+// (/v1/fleet/*) fan per-shard partial results out over internal/par and
+// merge them map-reduce style (tenant.MergeRank / tenant.MergeHealth);
+// merging the per-org responses offline reproduces the fleet response
+// byte-for-byte.
 //
-//	GET /healthz                       liveness + loaded-state summary
+// Endpoints (each /v1 query also mounts at /v1/orgs/{org}/...):
+//
+//	GET /healthz                       liveness + loaded-state summary (fleet summary when sharded)
 //	GET /v1/rank                       practice↔health MI ranking
 //	GET /v1/causal?practice=NAME       matched-design causal analysis
 //	GET /v1/predict?network=N&month=M  health prediction for one network-month
@@ -18,6 +30,8 @@
 //	GET /v1/manifest                   run manifest for the loaded state
 //	POST /v1/ingest                    apply one month of new snapshots/tickets in place
 //	GET /v1/stream                     SSE feed of per-network deltas + refreshed rankings
+//	GET /v1/fleet/rank                 cross-org merged practice ranking (sharded only)
+//	GET /v1/fleet/health               cross-org loaded-state rollup (sharded only)
 //	GET /debug/slo                     per-endpoint latency percentiles + error rates (slo.go)
 //	GET /metrics, /debug/pprof, /debug/vars  (the shared obs debug set)
 //	GET /debug/requests[/{id}[/trace]], /debug/logs  (the flight recorder)
@@ -28,21 +42,25 @@
 // legacy coarse serve.latency_ms series plus one log-spaced
 // serve.latency_ns.<endpoint> histogram (p50…p99.9 at ~5% relative
 // error) and serve.status.<endpoint>.<class> counters per endpoint,
-// summarized at /debug/slo and gated in CI by cmd/mpa-slogate. Each
-// request gets an ID — honoring an incoming X-Request-ID or W3C
-// traceparent, echoed back as X-Request-ID — and is recorded in the
-// flight recorder (obs.Recorder) on completion: the recent ring is
-// served at /debug/requests, and full span trees of the slowest and
-// errored requests can be fetched as per-request Chrome traces.
-// Requests slower than Config.SlowThreshold are logged at Warn with a
-// per-stage breakdown. Shutdown is graceful: canceling the Serve
-// context stops accepting connections and drains in-flight requests
-// before returning.
+// summarized at /debug/slo and gated in CI by cmd/mpa-slogate. Sharded
+// servers additionally record each request under its tenant's own
+// serve.tenant.<org>.latency_ns.<endpoint> / status series — the global
+// series stay fleet-wide aggregates, so the single-tenant SLO baseline
+// remains comparable. Each request gets an ID — honoring an incoming
+// X-Request-ID or W3C traceparent, echoed back as X-Request-ID — and is
+// recorded in the flight recorder (obs.Recorder) on completion with its
+// tenant column: the recent ring is served at /debug/requests, and full
+// span trees of the slowest and errored requests can be fetched as
+// per-request Chrome traces. Requests slower than Config.SlowThreshold
+// are logged at Warn with a per-stage breakdown. Shutdown is graceful:
+// canceling the Serve context stops accepting connections and drains
+// in-flight requests before returning.
 package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -54,7 +72,13 @@ import (
 	"mpa"
 	"mpa/internal/ingest"
 	"mpa/internal/obs"
+	"mpa/internal/par"
+	"mpa/internal/tenant"
 )
+
+// OrgHeader is the request header naming the tenant when the path does
+// not (/v1/rank with X-MPA-Org: acme ≡ /v1/orgs/acme/rank).
+const OrgHeader = "X-MPA-Org"
 
 // Config parameterizes the server.
 type Config struct {
@@ -72,19 +96,64 @@ type Config struct {
 	// flight recorder (the `mpa serve -slow-ms` flag). Zero disables
 	// slow classification.
 	SlowThreshold time.Duration
+	// MaxIngestBytes bounds a POST /v1/ingest body; an oversized body is
+	// a 413. Zero means 256 MiB.
+	MaxIngestBytes int64
+	// Tenant optionally names the organization of a single-tenant server
+	// (New); it labels the flight recorder and adds the per-tenant
+	// metric series. Empty leaves the server anonymous, as before
+	// multi-tenancy existed. NewSharded ignores it.
+	Tenant string
 	// Recorder receives every completed query. Nil uses the process-wide
 	// obs.DefaultRecorder.
 	Recorder *obs.Recorder
 }
 
-// Server answers analysis queries over one warm Framework.
+// shard is one organization's slice of the server: its warm framework
+// plus the tenant-scoped SLO instrumentation. The shared request
+// plumbing (semaphore, global counters, recorder) lives on the Server;
+// everything query-answering is per-shard.
+type shard struct {
+	name string
+	f    *mpa.Framework
+	// ep holds the per-tenant endpoint metrics
+	// (serve.tenant.<org>.latency_ns.<endpoint> and status counters),
+	// nil for an anonymous single-tenant server.
+	ep map[string]*endpointMetrics
+}
+
+// queryEndpoints are the query-wrapped endpoint names, fixed at build
+// time so every shard registers the same per-tenant series.
+var queryEndpoints = []string{
+	"rank", "causal", "predict", "network", "report", "manifest", "ingest",
+}
+
+func newShard(name string, f *mpa.Framework) *shard {
+	sh := &shard{name: name, f: f}
+	if name != "" {
+		sh.ep = make(map[string]*endpointMetrics, len(queryEndpoints))
+		for _, ep := range queryEndpoints {
+			sh.ep[ep] = newEndpointMetrics("serve.tenant."+name+".", ep)
+		}
+	}
+	return sh
+}
+
+// Server answers analysis queries over one or more warm Frameworks.
 type Server struct {
-	f     *mpa.Framework
 	cfg   Config
 	sem   chan struct{}
 	start time.Time
 	mux   *http.ServeMux
 	ln    net.Listener
+
+	// def is the shard a request with no org resolves to: the only
+	// shard of a single-tenant (or single-org sharded) server, nil when
+	// several orgs are registered and the request must name one.
+	def    *shard
+	shards map[string]*shard
+	names  []string         // registered org names, sorted
+	reg    *tenant.Registry // nil for single-tenant servers
 
 	// closing is closed when graceful shutdown begins, so long-lived
 	// stream handlers return and their connections can drain — an SSE
@@ -101,32 +170,34 @@ type Server struct {
 	inflight *obs.Gauge
 	latency  *obs.Histogram
 
-	// ep holds the per-endpoint latency-SLO instrumentation (log-spaced
-	// latency histograms + status-class counters; see slo.go) keyed by
-	// endpoint name; streamsOpen counts live SSE subscribers, which are
+	// ep holds the global per-endpoint latency-SLO instrumentation
+	// (log-spaced latency histograms + status-class counters; see
+	// slo.go) keyed by endpoint name — fleet-wide aggregates when
+	// sharded; streamsOpen counts live SSE subscribers, which are
 	// deliberately excluded from every latency series.
 	ep          map[string]*endpointMetrics
 	streamsOpen *obs.Gauge
 }
 
-// New builds a server over an already-constructed (and therefore
-// already-inferred) framework.
-func New(f *mpa.Framework, cfg Config) *Server {
+func newServer(cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	if cfg.MaxIngestBytes <= 0 {
+		cfg.MaxIngestBytes = maxIngestBytes
+	}
 	if cfg.Recorder == nil {
 		cfg.Recorder = obs.DefaultRecorder()
 	}
-	s := &Server{
-		f:        f,
+	return &Server{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		start:    time.Now(),
 		mux:      http.NewServeMux(),
+		shards:   map[string]*shard{},
 		closing:  make(chan struct{}),
 		rec:      cfg.Recorder,
 		requests: obs.GetCounter("serve.requests"),
@@ -138,23 +209,76 @@ func New(f *mpa.Framework, cfg Config) *Server {
 		ep:          map[string]*endpointMetrics{},
 		streamsOpen: obs.GetGauge("serve.streams_open"),
 	}
+}
+
+// New builds a single-tenant server over an already-constructed (and
+// therefore already-inferred) framework. Config.Tenant optionally names
+// the organization.
+func New(f *mpa.Framework, cfg Config) *Server {
+	s := newServer(cfg)
+	sh := newShard(cfg.Tenant, f)
+	s.def = sh
+	if sh.name != "" {
+		s.shards[sh.name] = sh
+		s.names = []string{sh.name}
+	}
+	s.routes()
+	return s
+}
+
+// NewSharded builds a multi-tenant server over an org registry: one
+// shard per org, the /v1/orgs/{org} router in front, and the
+// /v1/fleet/* aggregate endpoints. With exactly one org registered,
+// requests that name no org resolve to it; with several, they must pick
+// one (path segment or X-MPA-Org header).
+func NewSharded(reg *tenant.Registry, cfg Config) *Server {
+	s := newServer(cfg)
+	s.reg = reg
+	s.names = reg.Names()
+	for _, o := range reg.Orgs() {
+		s.shards[o.Name] = newShard(o.Name, o.F)
+	}
+	if len(s.names) == 1 {
+		s.def = s.shards[s.names[0]]
+	}
+	s.routes()
+	return s
+}
+
+// routes mounts the full route set. Every query endpoint is reachable
+// both bare (tenant from header or default) and under /v1/orgs/{org};
+// the fleet aggregates exist only on sharded servers.
+func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /v1/rank", s.query("rank", s.handleRank))
-	s.mux.Handle("GET /v1/causal", s.query("causal", s.handleCausal))
-	s.mux.Handle("GET /v1/predict", s.query("predict", s.handlePredict))
-	s.mux.Handle("GET /v1/network", s.query("network", s.handleNetwork))
-	s.mux.Handle("GET /v1/report/{name}", s.query("report", s.handleReport))
-	s.mux.Handle("GET /v1/manifest", s.query("manifest", s.handleManifest))
-	s.mux.Handle("POST /v1/ingest", s.query("ingest", s.handleIngest))
+	s.mux.HandleFunc("GET /v1/orgs/{org}/healthz", s.handleHealthz)
+	s.route("GET", "rank", "rank", s.handleRank)
+	s.route("GET", "causal", "causal", s.handleCausal)
+	s.route("GET", "predict", "predict", s.handlePredict)
+	s.route("GET", "network", "network", s.handleNetwork)
+	s.route("GET", "report/{name}", "report", s.handleReport)
+	s.route("GET", "manifest", "manifest", s.handleManifest)
+	s.route("POST", "ingest", "ingest", s.handleIngest)
 	// The stream endpoint is mounted outside the query wrapper: SSE
 	// connections are long-lived by design and must not occupy slots in
 	// the bounded query semaphore (a handful of subscribers would starve
 	// every analysis query).
 	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/orgs/{org}/stream", s.handleStream)
+	if s.reg != nil {
+		s.mux.Handle("GET /v1/fleet/rank", s.fleet("fleet_rank", s.handleFleetRank))
+		s.mux.Handle("GET /v1/fleet/health", s.fleet("fleet_health", s.handleFleetHealth))
+	}
 	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	obs.RegisterDebug(s.mux)
 	obs.RegisterRecorderDebug(s.mux, s.rec)
-	return s
+}
+
+// route mounts one query endpoint under both its bare and org-scoped
+// paths — the same wrapped handler, so the two forms share counters.
+func (s *Server) route(method, path, name string, h func(*shard, http.ResponseWriter, *http.Request)) {
+	qh := s.query(name, h)
+	s.mux.Handle(method+" /v1/"+path, qh)
+	s.mux.Handle(method+" /v1/orgs/{org}/"+path, qh)
 }
 
 // Handler returns the server's full route set, for embedding or tests.
@@ -174,7 +298,9 @@ func (s *Server) Listen() (net.Addr, error) {
 // Serve accepts connections until ctx is canceled, then shuts down
 // gracefully: the listener closes, in-flight requests drain (bounded by
 // DrainTimeout), and only then does Serve return. A clean drain returns
-// nil.
+// nil. Every exit path closes the server's closing channel, so attached
+// SSE streams learn the server is gone even when hs.Serve fails before
+// the context is canceled (e.g. the listener is yanked).
 func (s *Server) Serve(ctx context.Context) error {
 	if s.ln == nil {
 		if _, err := s.Listen(); err != nil {
@@ -186,6 +312,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	go func() { errc <- hs.Serve(s.ln) }()
 	select {
 	case err := <-errc:
+		s.closeOnce.Do(func() { close(s.closing) })
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
@@ -230,32 +357,67 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// query wraps a /v1 handler with the shared request plumbing: the
+// resolveShard picks the request's tenant: the {org} path segment, then
+// the X-MPA-Org header, then the default shard. An unknown org is a
+// 404; naming no org on a multi-org server is a 400 listing the
+// registered names. On failure the error response is already written.
+func (s *Server) resolveShard(w http.ResponseWriter, r *http.Request) (*shard, bool) {
+	name := r.PathValue("org")
+	if name == "" {
+		name = r.Header.Get(OrgHeader)
+	}
+	if name == "" {
+		if s.def != nil {
+			return s.def, true
+		}
+		writeError(w, http.StatusBadRequest,
+			"multi-tenant server: name an org via /v1/orgs/{org}/... or the %s header (orgs: %s)",
+			OrgHeader, strings.Join(s.names, ", "))
+		return nil, false
+	}
+	sh, ok := s.shards[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown org %q", name)
+		return nil, false
+	}
+	return sh, true
+}
+
+// instrumented is the inner handler shape under instrument: it runs the
+// request and reports which tenant it resolved to ("" for none) plus
+// that tenant's per-endpoint metrics row (nil for none), both observed
+// by the deferred accounting.
+type instrumented func(w http.ResponseWriter, r *http.Request) (tenantName string, tem *endpointMetrics)
+
+// instrument wraps a handler with the shared request plumbing: the
 // concurrency limit, total/per-endpoint/error/panic counters, the
-// in-flight gauge, the latency histogram, a request-scoped span (passed
-// down via the request context for handlers to hang stage spans on),
-// the request ID (honoring X-Request-ID / traceparent, echoed back as
-// X-Request-ID), and the flight-recorder entry. A handler panic is
-// recovered into a 500 JSON error — latency, counters, and the recorder
-// entry are still recorded. Request spans are deliberately roots, not
-// children of the framework's pipeline span: attaching them to a
-// long-lived parent would grow its child list without bound under
-// sustained traffic.
-func (s *Server) query(name string, h http.HandlerFunc) http.Handler {
+// in-flight gauge, the latency histograms (global and, when the request
+// resolved to a named tenant, that tenant's), a request-scoped span
+// (passed down via the request context for handlers to hang stage spans
+// on), the request ID (honoring X-Request-ID / traceparent, echoed back
+// as X-Request-ID), and the tenant-labeled flight-recorder entry. A
+// handler panic is recovered into a 500 JSON error — latency, counters,
+// and the recorder entry are still recorded. Request spans are
+// deliberately roots, not children of the framework's pipeline span:
+// attaching them to a long-lived parent would grow its child list
+// without bound under sustained traffic.
+func (s *Server) instrument(name string, h instrumented) http.Handler {
 	perEndpoint := obs.GetCounter("serve.requests." + name)
-	em := newEndpointMetrics(name)
+	em := newEndpointMetrics("serve.", name)
 	s.ep[name] = em
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.sem <- struct{}{}
-		s.inflight.Set(float64(len(s.sem)))
+		s.inflight.Add(1)
 		defer func() {
 			<-s.sem
-			s.inflight.Set(float64(len(s.sem)))
+			s.inflight.Add(-1)
 		}()
 		id := obs.RequestIDFrom(r.Header.Get("traceparent"), r.Header.Get("X-Request-ID"))
 		w.Header().Set("X-Request-ID", id)
 		sp := obs.NewRoot("serve:" + name)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		var tenantName string
+		var tem *endpointMetrics
 		defer func() {
 			panicked := recover()
 			if panicked != nil {
@@ -281,22 +443,50 @@ func (s *Server) query(name string, h http.HandlerFunc) http.Handler {
 			}
 			s.latency.Observe(float64(dur.Nanoseconds()) / 1e6)
 			em.observe(dur, sw.status)
+			if tem != nil {
+				tem.observe(dur, sw.status)
+			}
 			sum := s.rec.Record(sp, obs.RequestMeta{
 				ID:     id,
 				Status: sw.status,
 				Err:    panicked != nil || sw.status >= 400,
 				Slow:   slow,
+				Tenant: tenantName,
 			})
 			if slow {
 				obs.Logger().Warn("serve: slow request",
-					"endpoint", name, "request_id", id, "status", sw.status,
-					"elapsed", dur, "stages", stageString(sum.Stages))
+					"endpoint", name, "request_id", id, "tenant", tenantName,
+					"status", sw.status, "elapsed", dur, "stages", stageString(sum.Stages))
 			} else {
 				obs.Logger().Debug("serve: request",
-					"endpoint", name, "request_id", id, "status", sw.status, "elapsed", dur)
+					"endpoint", name, "request_id", id, "tenant", tenantName,
+					"status", sw.status, "elapsed", dur)
 			}
 		}()
-		h(sw, r.WithContext(obs.ContextWithSpan(r.Context(), sp)))
+		tenantName, tem = h(sw, r.WithContext(obs.ContextWithSpan(r.Context(), sp)))
+	})
+}
+
+// query wraps a tenant-scoped /v1 handler: shard resolution first (a
+// failed resolution is still a fully accounted request), then the
+// handler against the resolved shard's framework.
+func (s *Server) query(name string, h func(*shard, http.ResponseWriter, *http.Request)) http.Handler {
+	return s.instrument(name, func(w http.ResponseWriter, r *http.Request) (string, *endpointMetrics) {
+		sh, ok := s.resolveShard(w, r)
+		if !ok {
+			return "", nil
+		}
+		h(sh, w, r)
+		return sh.name, sh.ep[name]
+	})
+}
+
+// fleet wraps a cross-org aggregate handler: same plumbing, no shard
+// resolution; entries are recorded under the reserved "fleet" tenant.
+func (s *Server) fleet(name string, h http.HandlerFunc) http.Handler {
+	return s.instrument(name, func(w http.ResponseWriter, r *http.Request) (string, *endpointMetrics) {
+		h(w, r)
+		return "fleet", nil
 	})
 }
 
@@ -331,9 +521,10 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// healthzResponse summarizes the loaded state.
+// healthzResponse summarizes one org's loaded state.
 type healthzResponse struct {
 	Status        string  `json:"status"`
+	Org           string  `json:"org,omitempty"`
 	Networks      int     `json:"networks"`
 	WindowStart   string  `json:"window_start"`
 	WindowEnd     string  `json:"window_end"`
@@ -343,15 +534,54 @@ type healthzResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	window := s.f.Window()
+// fleetHealthzResponse is the bare /healthz body of a multi-org server:
+// liveness plus the fleet rollup, so probes need no org.
+type fleetHealthzResponse struct {
+	Status        string             `json:"status"`
+	Orgs          []string           `json:"orgs"`
+	Totals        tenant.FleetTotals `json:"totals"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+}
+
+// handleHealthz resolves like a query endpoint but degrades instead of
+// erroring: a multi-org server probed with no org answers for the whole
+// fleet.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("org")
+	if name == "" {
+		name = r.Header.Get(OrgHeader)
+	}
+	if name == "" && s.def == nil {
+		parts := make([]tenant.HealthPartial, 0, s.reg.Len())
+		for _, o := range s.reg.Orgs() {
+			parts = append(parts, tenant.HealthPartialOf(o))
+		}
+		merged, err := tenant.MergeHealth(parts)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleetHealthzResponse{
+			Status:        merged.Status,
+			Orgs:          s.names,
+			Totals:        merged.Totals,
+			UptimeSeconds: time.Since(s.start).Seconds(),
+		})
+		return
+	}
+	sh, ok := s.resolveShard(w, r)
+	if !ok {
+		return
+	}
+	window := sh.f.Window()
 	writeJSON(w, http.StatusOK, healthzResponse{
 		Status:        "ok",
-		Networks:      len(s.f.Dataset().Networks()),
+		Org:           sh.name,
+		Networks:      len(sh.f.Dataset().Networks()),
 		WindowStart:   window[0].String(),
 		WindowEnd:     window[len(window)-1].String(),
 		Months:        len(window),
-		Cases:         s.f.Dataset().Len(),
+		Cases:         sh.f.Dataset().Len(),
 		Experiments:   len(mpa.ExperimentIDs()),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
@@ -366,10 +596,10 @@ type rankEntry struct {
 	MI          float64 `json:"mi_bits"`
 }
 
-func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRank(sh *shard, w http.ResponseWriter, r *http.Request) {
 	sp := obs.SpanFrom(r.Context())
 	c := sp.Start("rank_practices")
-	ranked := s.f.RankPracticesCached()
+	ranked := sh.f.RankPracticesCached()
 	c.End()
 	out := make([]rankEntry, len(ranked))
 	for i, e := range ranked {
@@ -406,7 +636,7 @@ type causalResponse struct {
 	Points      []causalPoint `json:"points"`
 }
 
-func (s *Server) handleCausal(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCausal(sh *shard, w http.ResponseWriter, r *http.Request) {
 	metric := r.URL.Query().Get("practice")
 	if metric == "" {
 		writeError(w, http.StatusBadRequest, "missing required query parameter 'practice'")
@@ -418,7 +648,7 @@ func (s *Server) handleCausal(w http.ResponseWriter, r *http.Request) {
 	}
 	sp := obs.SpanFrom(r.Context())
 	c := sp.Start("causal_analysis")
-	res, err := s.f.AnalyzeCausalCached(metric)
+	res, err := sh.f.AnalyzeCausalCached(metric)
 	c.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "causal analysis failed: %v", err)
@@ -463,13 +693,13 @@ type predictResponse struct {
 	Accuracy5      float64 `json:"model5_cv_accuracy"`
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePredict(sh *shard, w http.ResponseWriter, r *http.Request) {
 	network := r.URL.Query().Get("network")
 	if network == "" {
 		writeError(w, http.StatusBadRequest, "missing required query parameter 'network'")
 		return
 	}
-	window := s.f.Window()
+	window := sh.f.Window()
 	month := window[len(window)-1]
 	if ms := r.URL.Query().Get("month"); ms != "" {
 		t, err := time.Parse("2006-01", ms)
@@ -481,19 +711,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	sp := obs.SpanFrom(r.Context())
 	c := sp.Start("predict")
-	pred, err := s.f.PredictNetworkMonth(network, month)
+	pred, err := sh.f.PredictNetworkMonth(network, month)
 	if err != nil {
 		c.End()
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	m2, err := s.f.HealthModelCached(mpa.TwoClass)
+	m2, err := sh.f.HealthModelCached(mpa.TwoClass)
 	if err != nil {
 		c.End()
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	m5, err := s.f.HealthModelCached(mpa.FiveClass)
+	m5, err := sh.f.HealthModelCached(mpa.FiveClass)
 	c.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -526,11 +756,11 @@ type reportResponse struct {
 	Digest  string             `json:"digest"`
 }
 
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReport(sh *shard, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	sp := obs.SpanFrom(r.Context())
 	c := sp.Start("experiment")
-	rep, ok := s.f.ExperimentCached(name)
+	rep, ok := sh.f.ExperimentCached(name)
 	c.End()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown experiment %q (GET /v1/manifest lists the known ids after they run; see mpa.ExperimentIDs)", name)
@@ -550,14 +780,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // handleNetwork serves the per-network-month health summary, memoized
 // under the network's own cache generation (see mpa.NetworkHealthCached):
 // the heavy-traffic per-network dashboard path that stays warm across
-// ingests touching other networks.
-func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+// ingests touching other networks — or, under sharding, other orgs.
+func (s *Server) handleNetwork(sh *shard, w http.ResponseWriter, r *http.Request) {
 	network := r.URL.Query().Get("network")
 	if network == "" {
 		writeError(w, http.StatusBadRequest, "missing required query parameter 'network'")
 		return
 	}
-	window := s.f.Window()
+	window := sh.f.Window()
 	month := window[len(window)-1]
 	if ms := r.URL.Query().Get("month"); ms != "" {
 		t, err := time.Parse("2006-01", ms)
@@ -569,7 +799,7 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	}
 	sp := obs.SpanFrom(r.Context())
 	c := sp.Start("network_health")
-	nh, err := s.f.NetworkHealthCached(network, month)
+	nh, err := sh.f.NetworkHealthCached(network, month)
 	c.End()
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
@@ -580,25 +810,34 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, nh)
 }
 
-// maxIngestBytes bounds an update body: a month of snapshots for a large
-// organization is tens of megabytes; anything past this is a client bug.
+// maxIngestBytes is the default update-body bound: a month of snapshots
+// for a large organization is tens of megabytes; anything past this is
+// a client bug.
 const maxIngestBytes = 256 << 20
 
-// handleIngest applies one month of new data to the warm framework (see
-// mpa.Framework.Ingest). Malformed or non-appendable updates are 400s
-// and change nothing; a 200 response means the update is fully applied
-// and visible to every subsequent query.
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+// handleIngest applies one month of new data to the resolved shard's
+// warm framework (see mpa.Framework.Ingest) — other shards' state and
+// warm caches are untouched by construction. Malformed or
+// non-appendable updates are 400s and change nothing; an oversized body
+// is a 413; a 200 response means the update is fully applied and
+// visible to every subsequent query against this org.
+func (s *Server) handleIngest(sh *shard, w http.ResponseWriter, r *http.Request) {
 	sp := obs.SpanFrom(r.Context())
 	c := sp.Start("decode")
-	u, err := ingest.Decode(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	u, err := ingest.Decode(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes))
 	c.End()
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"update body exceeds %d bytes", s.cfg.MaxIngestBytes)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	c = sp.Start("ingest")
-	res, err := s.f.Ingest(u)
+	res, err := sh.f.Ingest(u)
 	c.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -609,12 +848,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleStream is the SSE feed: after every applied ingest, subscribers
-// receive one "delta" event per touched network (sorted) and one "rank"
-// event with the refreshed practice ranking. Events are pre-encoded
-// JSON; a subscriber too slow to drain its buffer loses events rather
-// than stalling ingestion (ingest.stream_dropped counts them).
+// handleStream is the SSE feed: after every applied ingest into the
+// resolved org, subscribers receive one "delta" event per touched
+// network (sorted) and one "rank" event with the refreshed practice
+// ranking. Events are pre-encoded JSON; a subscriber too slow to drain
+// its buffer loses events rather than stalling ingestion
+// (ingest.stream_dropped counts them).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.resolveShard(w, r)
+	if !ok {
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
@@ -627,7 +871,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// serve.streams_open gauge carries the live population instead.
 	s.streamsOpen.Add(1)
 	defer s.streamsOpen.Add(-1)
-	ch, cancel := s.f.Subscribe()
+	ch, cancel := sh.f.Subscribe()
 	defer cancel()
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -666,12 +910,62 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleManifest(sh *shard, w http.ResponseWriter, r *http.Request) {
 	sp := obs.SpanFrom(r.Context())
 	c := sp.Start("manifest")
-	m := s.f.Manifest()
+	m := sh.f.Manifest()
 	c.End()
 	enc := sp.Start("encode")
 	defer enc.End()
 	writeJSON(w, http.StatusOK, m)
+}
+
+// handleFleetRank is the cross-org practice ranking: every shard's
+// partial (its warm memoized ranking plus its case-count weight) fanned
+// out over the worker pool, then reduced with tenant.MergeRank. The
+// response is a pure function of the per-org partials — merging the
+// orgs' /v1/rank responses offline reproduces it byte-for-byte.
+func (s *Server) handleFleetRank(w http.ResponseWriter, r *http.Request) {
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("fleet_rank")
+	parts, err := par.Map(0, s.reg.Orgs(), func(_ int, o *tenant.Org) (tenant.RankPartial, error) {
+		return tenant.RankPartialOf(o), nil
+	})
+	c.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	merged, err := tenant.MergeRank(parts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	enc := sp.Start("encode")
+	defer enc.End()
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleFleetHealth is the cross-org loaded-state rollup: per-org
+// summaries fanned out over the worker pool and reduced with
+// tenant.MergeHealth (rows name-sorted, totals summed, window spanned).
+func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
+	sp := obs.SpanFrom(r.Context())
+	c := sp.Start("fleet_health")
+	parts, err := par.Map(0, s.reg.Orgs(), func(_ int, o *tenant.Org) (tenant.HealthPartial, error) {
+		return tenant.HealthPartialOf(o), nil
+	})
+	c.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	merged, err := tenant.MergeHealth(parts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	enc := sp.Start("encode")
+	defer enc.End()
+	writeJSON(w, http.StatusOK, merged)
 }

@@ -20,20 +20,23 @@ import (
 // as "serve.status.<endpoint>.<class>" counters.
 var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
 
-// endpointMetrics is one endpoint's latency-SLO instrumentation.
+// endpointMetrics is one endpoint's latency-SLO instrumentation. The
+// prefix scopes the series: "serve." for the global (fleet-wide)
+// aggregates, "serve.tenant.<org>." for one tenant's view of the same
+// endpoint.
 type endpointMetrics struct {
 	name    string
-	latency *obs.LogHistogram // serve.latency_ns.<name>: nanoseconds
+	latency *obs.LogHistogram // <prefix>latency_ns.<name>: nanoseconds
 	status  [len(statusClasses)]*obs.Counter
 }
 
-func newEndpointMetrics(name string) *endpointMetrics {
+func newEndpointMetrics(prefix, name string) *endpointMetrics {
 	m := &endpointMetrics{
 		name:    name,
-		latency: obs.GetLogHistogram("serve.latency_ns." + name),
+		latency: obs.GetLogHistogram(prefix + "latency_ns." + name),
 	}
 	for i, class := range statusClasses {
-		m.status[i] = obs.GetCounter("serve.status." + name + "." + class)
+		m.status[i] = obs.GetCounter(prefix + "status." + name + "." + class)
 	}
 	return m
 }
@@ -92,16 +95,41 @@ func latencyMS(snap obs.LogHistogramSnapshot) *latencySummaryMS {
 	}
 }
 
-// sloResponse is the GET /debug/slo body.
+// sloResponse is the GET /debug/slo body. Endpoints carries the global
+// (fleet-wide) aggregates; Tenants, present only when tenants are
+// named, breaks the same endpoints down per organization.
 type sloResponse struct {
-	UptimeSeconds float64                `json:"uptime_seconds"`
-	StreamsOpen   int64                  `json:"streams_open"`
-	Endpoints     map[string]endpointSLO `json:"endpoints"`
+	UptimeSeconds float64                           `json:"uptime_seconds"`
+	StreamsOpen   int64                             `json:"streams_open"`
+	Endpoints     map[string]endpointSLO            `json:"endpoints"`
+	Tenants       map[string]map[string]endpointSLO `json:"tenants,omitempty"`
 }
 
-// handleSLO summarizes every instrumented endpoint. Long-lived SSE
-// streams are deliberately not an endpoint row (they are connections,
-// not requests); their population shows up as streams_open.
+// sloRow snapshots one endpoint's instrumentation into a summary row.
+func sloRow(m *endpointMetrics) endpointSLO {
+	snap := m.latency.Snapshot()
+	row := endpointSLO{
+		Requests:      snap.Count,
+		StatusClasses: make(map[string]int64, len(statusClasses)),
+		LatencyMS:     latencyMS(snap),
+	}
+	for i, class := range statusClasses {
+		v := m.status[i].Value()
+		row.StatusClasses[class] = v
+		if class == "4xx" || class == "5xx" {
+			row.Errors += v
+		}
+	}
+	if row.Requests > 0 {
+		row.ErrorRate = float64(row.Errors) / float64(row.Requests)
+	}
+	return row
+}
+
+// handleSLO summarizes every instrumented endpoint, globally and per
+// tenant. Long-lived SSE streams are deliberately not an endpoint row
+// (they are connections, not requests); their population shows up as
+// streams_open.
 func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 	out := sloResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -114,24 +142,20 @@ func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		m := s.ep[name]
-		snap := m.latency.Snapshot()
-		row := endpointSLO{
-			Requests:      snap.Count,
-			StatusClasses: make(map[string]int64, len(statusClasses)),
-			LatencyMS:     latencyMS(snap),
+		out.Endpoints[name] = sloRow(s.ep[name])
+	}
+	for name, sh := range s.shards {
+		if sh.ep == nil {
+			continue
 		}
-		for i, class := range statusClasses {
-			v := m.status[i].Value()
-			row.StatusClasses[class] = v
-			if class == "4xx" || class == "5xx" {
-				row.Errors += v
-			}
+		rows := make(map[string]endpointSLO, len(sh.ep))
+		for ep, m := range sh.ep {
+			rows[ep] = sloRow(m)
 		}
-		if row.Requests > 0 {
-			row.ErrorRate = float64(row.Errors) / float64(row.Requests)
+		if out.Tenants == nil {
+			out.Tenants = make(map[string]map[string]endpointSLO, len(s.shards))
 		}
-		out.Endpoints[name] = row
+		out.Tenants[name] = rows
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,232 @@
+package tenant_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mpa"
+	"mpa/internal/tenant"
+)
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"acme", "a", "org-2", "x9", "globex-east-1"} {
+		if !tenant.ValidName(ok) {
+			t.Errorf("ValidName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{
+		"", "Acme", "a_b", "-lead", "has space", "fleet", "orgs", "debug",
+		"metrics", "healthz", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", // 33 chars
+	} {
+		if tenant.ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestParseOrgs(t *testing.T) {
+	specs, err := tenant.ParseOrgs("acme=1,globex=2:8,initech=3:12:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tenant.OrgSpec{
+		{Name: "acme", Seed: 1},
+		{Name: "globex", Seed: 2, Networks: 8},
+		{Name: "initech", Seed: 3, Networks: 12, Months: 4},
+	}
+	if !reflect.DeepEqual(specs, want) {
+		t.Fatalf("ParseOrgs = %+v, want %+v", specs, want)
+	}
+
+	for _, bad := range []string{
+		"", "acme", "acme=x", "acme=1,acme=2", "Acme=1", "fleet=1",
+		"acme=1:0", "acme=1:8:0", "acme=1:8:2:9",
+	} {
+		if _, err := tenant.ParseOrgs(bad); err == nil {
+			t.Errorf("ParseOrgs(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestReadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "orgs.json")
+	if err := os.WriteFile(path, []byte(`{"orgs":[
+		{"name":"acme","seed":1,"networks":8,"months":2},
+		{"name":"globex","seed":2}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := tenant.ReadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tenant.OrgSpec{
+		{Name: "acme", Seed: 1, Networks: 8, Months: 2},
+		{Name: "globex", Seed: 2},
+	}
+	if !reflect.DeepEqual(specs, want) {
+		t.Fatalf("ReadConfig = %+v, want %+v", specs, want)
+	}
+
+	for name, body := range map[string]string{
+		"unknown-field": `{"orgs":[{"name":"a","seed":1,"sharding":9}]}`,
+		"no-orgs":       `{"orgs":[]}`,
+		"bad-name":      `{"orgs":[{"name":"Fleet","seed":1}]}`,
+		"dup":           `{"orgs":[{"name":"a","seed":1},{"name":"a","seed":2}]}`,
+	} {
+		p := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tenant.ReadConfig(p); err == nil {
+			t.Errorf("%s: ReadConfig succeeded, want error", name)
+		}
+	}
+	if _, err := tenant.ReadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("ReadConfig(missing) succeeded, want error")
+	}
+}
+
+// loadRegistry builds a tiny 2-org fleet once for the merge tests.
+func loadRegistry(t *testing.T) *tenant.Registry {
+	t.Helper()
+	base := mpa.SmallConfig(1)
+	base.Networks = 6
+	specs, err := tenant.ParseOrgs("globex=2:6:2,acme=1:8:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := tenant.Load(specs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestLoadRegistry(t *testing.T) {
+	reg := loadRegistry(t)
+	if got, want := reg.Names(), []string{"acme", "globex"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want sorted %v", got, want)
+	}
+	acme, ok := reg.Get("acme")
+	if !ok {
+		t.Fatal("Get(acme) missing")
+	}
+	if n := len(acme.F.Dataset().Networks()); n != 8 {
+		t.Errorf("acme networks = %d, want the spec override 8", n)
+	}
+	globex, _ := reg.Get("globex")
+	if n := len(globex.F.Dataset().Networks()); n != 6 {
+		t.Errorf("globex networks = %d, want 6", n)
+	}
+	if w := acme.F.Window(); len(w) != 2 {
+		t.Errorf("acme window = %d months, want the spec override 2", len(w))
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Error("Get(nope) = ok")
+	}
+	if reg.Len() != 2 {
+		t.Errorf("Len = %d", reg.Len())
+	}
+}
+
+func TestMergeRank(t *testing.T) {
+	reg := loadRegistry(t)
+	var parts []tenant.RankPartial
+	for _, o := range reg.Orgs() {
+		parts = append(parts, tenant.RankPartialOf(o))
+	}
+	merged, err := tenant.MergeRank(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Orgs != 2 {
+		t.Errorf("Orgs = %d, want 2", merged.Orgs)
+	}
+	if want := parts[0].Cases + parts[1].Cases; merged.Cases != want {
+		t.Errorf("Cases = %d, want %d", merged.Cases, want)
+	}
+	if len(merged.Entries) != len(mpa.MetricNames) {
+		t.Fatalf("merged %d metrics, want %d", len(merged.Entries), len(mpa.MetricNames))
+	}
+	for i, e := range merged.Entries {
+		if e.Rank != i+1 {
+			t.Errorf("entry %d has rank %d", i, e.Rank)
+		}
+		if e.Orgs != 2 {
+			t.Errorf("metric %s reported by %d orgs, want 2", e.Metric, e.Orgs)
+		}
+		if i > 0 && e.MI > merged.Entries[i-1].MI {
+			t.Errorf("not descending at %d: %v > %v", i, e.MI, merged.Entries[i-1].MI)
+		}
+		if e.DisplayName == "" || e.Category == "" {
+			t.Errorf("entry %d incomplete: %+v", i, e)
+		}
+	}
+
+	// The merge is the case-weighted mean: check one metric by hand.
+	metric := merged.Entries[0].Metric
+	var want float64
+	var weight float64
+	for _, p := range parts {
+		for _, e := range p.Rank {
+			if e.Metric == metric {
+				want += float64(p.Cases) * e.MI
+				weight += float64(p.Cases)
+			}
+		}
+	}
+	want /= weight
+	if got := merged.Entries[0].MI; math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted MI for %s = %v, want %v", metric, got, want)
+	}
+
+	// Partial order must not matter (map-reduce reassociativity).
+	swapped, err := tenant.MergeRank([]tenant.RankPartial{parts[1], parts[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, swapped) {
+		t.Error("MergeRank depends on partial order")
+	}
+
+	if _, err := tenant.MergeRank(nil); err == nil {
+		t.Error("MergeRank(nil) succeeded, want error")
+	}
+}
+
+func TestMergeHealth(t *testing.T) {
+	reg := loadRegistry(t)
+	var parts []tenant.HealthPartial
+	for _, o := range reg.Orgs() {
+		parts = append(parts, tenant.HealthPartialOf(o))
+	}
+	merged, err := tenant.MergeHealth([]tenant.HealthPartial{parts[1], parts[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Status != "ok" {
+		t.Errorf("status = %q", merged.Status)
+	}
+	if merged.Totals.Orgs != 2 || merged.Totals.Networks != 14 {
+		t.Errorf("totals = %+v, want 2 orgs over 14 networks", merged.Totals)
+	}
+	if got, want := merged.Totals.Cases, parts[0].Cases+parts[1].Cases; got != want {
+		t.Errorf("total cases = %d, want %d", got, want)
+	}
+	if len(merged.Orgs) != 2 || merged.Orgs[0].Org != "acme" || merged.Orgs[1].Org != "globex" {
+		t.Errorf("org rows not name-sorted: %+v", merged.Orgs)
+	}
+	if merged.Totals.WindowStart != parts[0].WindowStart || merged.Totals.WindowEnd != parts[0].WindowEnd {
+		t.Errorf("fleet window = %s..%s, want the orgs' shared window %s..%s",
+			merged.Totals.WindowStart, merged.Totals.WindowEnd, parts[0].WindowStart, parts[0].WindowEnd)
+	}
+
+	if _, err := tenant.MergeHealth(nil); err == nil {
+		t.Error("MergeHealth(nil) succeeded, want error")
+	}
+}

@@ -3,9 +3,12 @@
 # tooling: build `mpa`, `mpa-loadgen`, and `mpa-slogate`, start a
 # daemon over a small generated archive, drive a short deterministic
 # open-loop load run, and gate the resulting load-manifest against the
-# checked-in SLO baseline (testdata/slo.json).
+# checked-in SLO baseline (testdata/slo.json). A second phase repeats
+# the run against a 2-org sharded daemon with a tenant-aware mix
+# (-orgs) and gates it against the same baseline.
 #
 # Usage: scripts/loadgen-smoke.sh [port] [out-manifest]
+#        (the sharded phase uses port+1 and <out-manifest>.orgs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,5 +75,61 @@ if wait "$PID"; then
     echo "loadgen-smoke: clean shutdown"
 else
     echo "loadgen-smoke: daemon exited non-zero on SIGINT" >&2
+    exit 1
+fi
+
+# ---- Phase 2: tenant-aware load against a sharded daemon ------------
+PORT2=$((PORT + 1))
+"$BINDIR/mpa" -addr "127.0.0.1:$PORT2" -orgs "acme=1:6:2,globex=2:5:2" serve &
+PID2=$!
+trap 'kill "$PID2" 2>/dev/null || true; rm -rf "$BINDIR"' EXIT
+
+for i in $(seq 1 120); do
+    if curl -fsS "http://127.0.0.1:$PORT2/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$PID2" 2>/dev/null; then
+        echo "loadgen-smoke: sharded daemon exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+echo "loadgen-smoke: sharded daemon up (2 orgs)"
+
+# The same plan shape, now drawing a tenant per request. Endpoint
+# accounting spans tenants, so the single-tenant SLO baseline gates the
+# sharded run unchanged.
+"$BINDIR/mpa-loadgen" -addr "http://127.0.0.1:$PORT2" -orgs "acme,globex" \
+    -rate 40 -duration 5s -conns 4 -seed 1 -out "$OUT.orgs"
+echo "loadgen-smoke: tenant-aware load run complete"
+
+"$BINDIR/mpa-slogate" testdata/slo.json "$OUT.orgs"
+echo "loadgen-smoke: sharded SLO gate passed"
+
+# Tenant traffic must land in per-org series alongside the fleet-wide
+# ones, and /debug/slo must carry the per-tenant breakdown.
+curl -fsS "http://127.0.0.1:$PORT2/metrics" >/tmp/loadgen-fleet-metrics.txt
+for series in \
+    'mpa_serve_latency_ns_rank_count ' \
+    'mpa_serve_tenant_acme_latency_ns_rank_count ' \
+    'mpa_serve_tenant_globex_latency_ns_rank_count '; do
+    grep -qF "$series" /tmp/loadgen-fleet-metrics.txt || {
+        echo "loadgen-smoke: /metrics missing $series" >&2
+        exit 1
+    }
+done
+curl -fsS "http://127.0.0.1:$PORT2/debug/slo" >/tmp/loadgen-fleet-slo.json
+grep -q '"tenants"' /tmp/loadgen-fleet-slo.json || {
+    echo "loadgen-smoke: /debug/slo missing per-tenant breakdown:" >&2
+    cat /tmp/loadgen-fleet-slo.json >&2
+    exit 1
+}
+echo "loadgen-smoke: per-tenant series ok"
+
+kill -INT "$PID2"
+if wait "$PID2"; then
+    echo "loadgen-smoke: sharded clean shutdown"
+else
+    echo "loadgen-smoke: sharded daemon exited non-zero on SIGINT" >&2
     exit 1
 fi

@@ -4,9 +4,12 @@
 # exercise the flight recorder (request-ID round-trip, /debug/requests,
 # a per-request Chrome trace), stream one month of new data through the
 # ingest path (SSE subscriber + `mpa nextmonth` + POST /v1/ingest), and
-# assert a clean graceful shutdown on SIGINT.
+# assert a clean graceful shutdown on SIGINT. A second phase starts a
+# 2-org sharded daemon (`serve -orgs`) and checks tenant routing by
+# path and header, cross-tenant 404s, fleet aggregates, and per-tenant
+# metric series.
 #
-# Usage: scripts/serve-smoke.sh [port]
+# Usage: scripts/serve-smoke.sh [port] (the sharded phase uses port+1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -166,5 +169,113 @@ if wait "$PID"; then
     echo "serve-smoke: clean shutdown"
 else
     echo "serve-smoke: daemon exited non-zero on SIGINT" >&2
+    exit 1
+fi
+
+# ---- Phase 2: multi-tenant sharded serve ----------------------------
+# Two orgs of different sizes so the fleet totals are distinguishable
+# from either org alone: acme has 6 networks, globex 5, both 2 months.
+PORT2=$((PORT + 1))
+"$BIN" -addr "127.0.0.1:$PORT2" -orgs "acme=1:6:2,globex=2:5:2" serve &
+PID2=$!
+trap 'kill "$PID2" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+for i in $(seq 1 120); do
+    if curl -fsS "http://127.0.0.1:$PORT2/healthz" >/tmp/fleet-healthz.json 2>/dev/null; then
+        break
+    fi
+    if ! kill -0 "$PID2" 2>/dev/null; then
+        echo "serve-smoke: sharded daemon exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+grep -q '"status": "ok"' /tmp/fleet-healthz.json && grep -q '"acme"' /tmp/fleet-healthz.json || {
+    echo "serve-smoke: fleet /healthz did not report ok with orgs:" >&2
+    cat /tmp/fleet-healthz.json >&2
+    exit 1
+}
+echo "serve-smoke: sharded daemon up (2 orgs)"
+
+# Path-segment routing: each org answers under /v1/orgs/<name>/.
+curl -fsS "http://127.0.0.1:$PORT2/v1/orgs/acme/healthz" >/tmp/acme-healthz.json
+grep -q '"org": "acme"' /tmp/acme-healthz.json && grep -q '"networks": 6' /tmp/acme-healthz.json || {
+    echo "serve-smoke: /v1/orgs/acme/healthz wrong:" >&2
+    cat /tmp/acme-healthz.json >&2
+    exit 1
+}
+curl -fsS "http://127.0.0.1:$PORT2/v1/orgs/acme/rank" >/tmp/acme-rank.json
+grep -q '"metric"' /tmp/acme-rank.json || {
+    echo "serve-smoke: /v1/orgs/acme/rank missing ranked metrics" >&2
+    exit 1
+}
+echo "serve-smoke: path-segment routing ok"
+
+# Header routing: X-MPA-Org selects the shard on the bare /v1 routes
+# and must agree byte-for-byte with the path form.
+curl -fsS -H 'X-MPA-Org: globex' "http://127.0.0.1:$PORT2/v1/rank" >/tmp/globex-rank-hdr.json
+curl -fsS "http://127.0.0.1:$PORT2/v1/orgs/globex/rank" >/tmp/globex-rank-path.json
+cmp -s /tmp/globex-rank-hdr.json /tmp/globex-rank-path.json || {
+    echo "serve-smoke: header- and path-routed /v1/rank differ for globex" >&2
+    exit 1
+}
+echo "serve-smoke: X-MPA-Org header routing ok"
+
+# Tenant boundaries: unknown orgs are 404s, and a bare query against a
+# multi-org daemon is a 400 naming the choices.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT2/v1/orgs/nope/rank")"
+[ "$CODE" = 404 ] || {
+    echo "serve-smoke: /v1/orgs/nope/rank returned $CODE, want 404" >&2
+    exit 1
+}
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT2/v1/rank")"
+[ "$CODE" = 400 ] || {
+    echo "serve-smoke: org-less /v1/rank returned $CODE, want 400" >&2
+    exit 1
+}
+echo "serve-smoke: cross-tenant 404 and org-less 400 ok"
+
+# Fleet aggregates: totals must span both orgs (6+5 networks) and the
+# merged ranking must cover all 28 practice metrics.
+curl -fsS "http://127.0.0.1:$PORT2/v1/fleet/health" >/tmp/fleet-health.json
+grep -q '"orgs": 2' /tmp/fleet-health.json && grep -q '"networks": 11' /tmp/fleet-health.json || {
+    echo "serve-smoke: /v1/fleet/health totals wrong:" >&2
+    cat /tmp/fleet-health.json >&2
+    exit 1
+}
+curl -fsS "http://127.0.0.1:$PORT2/v1/fleet/rank" >/tmp/fleet-rank.json
+RANKED="$(grep -c '"metric"' /tmp/fleet-rank.json)"
+[ "$RANKED" = 28 ] || {
+    echo "serve-smoke: /v1/fleet/rank has $RANKED metric rows, want 28" >&2
+    exit 1
+}
+echo "serve-smoke: fleet aggregates ok (11 networks, 28 metrics)"
+
+# Per-tenant observability: the acme queries above must appear in
+# tenant-prefixed series next to the fleet-wide ones, and /debug/slo
+# must break endpoints down per org.
+curl -fsS "http://127.0.0.1:$PORT2/metrics" >/tmp/fleet-metrics.txt
+for series in \
+    'mpa_serve_latency_ns_rank_count ' \
+    'mpa_serve_tenant_acme_latency_ns_rank_count ' \
+    'mpa_serve_tenant_globex_status_rank_2xx_total '; do
+    grep -qF "$series" /tmp/fleet-metrics.txt || {
+        echo "serve-smoke: /metrics missing $series" >&2
+        exit 1
+    }
+done
+curl -fsS "http://127.0.0.1:$PORT2/debug/slo" >/tmp/fleet-slo.json
+grep -q '"tenants"' /tmp/fleet-slo.json && grep -q '"acme"' /tmp/fleet-slo.json || {
+    echo "serve-smoke: /debug/slo missing per-tenant breakdown:" >&2
+    cat /tmp/fleet-slo.json >&2
+    exit 1
+}
+echo "serve-smoke: per-tenant metrics and /debug/slo ok"
+
+kill -INT "$PID2"
+if wait "$PID2"; then
+    echo "serve-smoke: sharded clean shutdown"
+else
+    echo "serve-smoke: sharded daemon exited non-zero on SIGINT" >&2
     exit 1
 fi
